@@ -1,0 +1,130 @@
+//===-- bench/BenchUtil.h - Shared benchmark plumbing -----------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the benchmark binaries: parse-or-abort, timed runs of
+/// each analysis with their machine-independent counters, and the
+/// standard `main` that first prints the paper-style table(s) and then
+/// runs the registered google-benchmark timings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_BENCH_BENCHUTIL_H
+#define STCFA_BENCH_BENCHUTIL_H
+
+#include "analysis/StandardCFA.h"
+#include "core/Reachability.h"
+#include "parser/Parser.h"
+#include "sema/Infer.h"
+#include "support/Timer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace stcfa {
+namespace bench {
+
+/// Parses and type-checks; aborts the benchmark binary on failure (the
+/// corpora are all well-formed by construction).
+inline std::unique_ptr<Module> mustParse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = parseProgram(Source, Diags);
+  if (!M) {
+    std::fprintf(stderr, "benchmark input failed to parse:\n%s",
+                 Diags.render().c_str());
+    std::abort();
+  }
+  DiagnosticEngine InferDiags;
+  if (!inferTypes(*M, InferDiags)) {
+    std::fprintf(stderr, "benchmark input failed to type-check:\n%s",
+                 InferDiags.render().c_str());
+    std::abort();
+  }
+  return M;
+}
+
+/// One timed standard-CFA solve.
+struct StandardRun {
+  double TotalMs = 0;
+  uint64_t Work = 0;
+};
+
+inline StandardRun runStandard(const Module &M) {
+  Timer T;
+  StandardCFA CFA(M);
+  CFA.run();
+  StandardRun R;
+  R.TotalMs = T.millis();
+  R.Work = CFA.stats().work();
+  return R;
+}
+
+/// One timed subtransitive build+close (phases timed separately, like the
+/// paper's Tables 1 and 2).
+struct GraphRun {
+  double BuildMs = 0;
+  double CloseMs = 0;
+  GraphStats Stats;
+  std::unique_ptr<SubtransitiveGraph> Graph;
+};
+
+inline GraphRun runGraph(const Module &M, SubtransitiveConfig Config = {}) {
+  GraphRun R;
+  R.Graph = std::make_unique<SubtransitiveGraph>(M, Config);
+  Timer T;
+  R.Graph->build();
+  R.BuildMs = T.millis();
+  T.reset();
+  R.Graph->close();
+  R.CloseMs = T.millis();
+  R.Stats = R.Graph->stats();
+  return R;
+}
+
+/// Queries the label set of every non-trivial application — the paper's
+/// benchmark workload ("writing out the control flow information for all
+/// non-trivial applications").  Returns the time.
+inline double queryAllApplications(const Module &M,
+                                   const SubtransitiveGraph &G,
+                                   uint64_t *TotalLabels = nullptr) {
+  Timer T;
+  Reachability R(G);
+  uint64_t Labels = 0;
+  for (uint32_t I = 0; I != M.numExprs(); ++I) {
+    const auto *A = dyn_cast<AppExpr>(M.expr(ExprId(I)));
+    if (!A)
+      continue;
+    // Non-trivial: the operator is not an identifier or an abstraction.
+    ExprKind K = M.expr(A->fn())->kind();
+    if (K == ExprKind::Var || K == ExprKind::Lam)
+      continue;
+    Labels += R.labelsOf(A->fn()).count();
+  }
+  if (TotalLabels)
+    *TotalLabels += Labels;
+  return T.millis();
+}
+
+} // namespace bench
+} // namespace stcfa
+
+/// Each bench binary defines `printPaperTables()` and uses this macro to
+/// emit the table before the google-benchmark timings.
+#define STCFA_BENCH_MAIN(PrintFn)                                            \
+  int main(int argc, char **argv) {                                         \
+    PrintFn();                                                               \
+    ::benchmark::Initialize(&argc, argv);                                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))                \
+      return 1;                                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                                   \
+    return 0;                                                                \
+  }
+
+#endif // STCFA_BENCH_BENCHUTIL_H

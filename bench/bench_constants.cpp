@@ -1,0 +1,103 @@
+//===-- bench/bench_constants.cpp - E6: the paper's constants -------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 10's constant-factor observations:
+///
+///   * `k_avg`, the mean type-tree size per occurrence, is small
+///     ("typically around 2 or 3") — the hidden constant of the linear
+///     bound;
+///   * build-phase node count tracks program size (≈ one node per syntax
+///     node);
+///   * close-phase node count is "typically no more than" the build-phase
+///     count on realistic programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "gen/Corpus.h"
+#include "gen/Generators.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+
+using namespace stcfa;
+using namespace stcfa::bench;
+
+namespace {
+
+void printPaperTables() {
+  std::printf("== Section 10 constants: k_avg and node-count ratios ==\n");
+  TablePrinter Table({"prog", "exprs", "k_avg", "k_max", "order", "build "
+                      "nodes", "nodes/expr", "close nodes", "close/build"});
+  struct Row {
+    std::string Name;
+    std::string Source;
+  };
+  std::vector<Row> Rows = {{"life", lifeProgram()},
+                           {"lexgen", makeLexgenLike()},
+                           {"minieval", miniEvalProgram()},
+                           {"parsecombo", parserComboProgram()},
+                           {"cubic:32", makeCubicFamily(32)},
+                           {"joinpoint:64", makeJoinPointFamily(64)}};
+  for (uint64_t Seed : {11ull, 12ull, 13ull}) {
+    RandomProgramOptions O;
+    O.Seed = Seed;
+    O.NumBindings = 300;
+    Rows.push_back({"random:" + std::to_string(Seed), makeRandomProgram(O)});
+  }
+
+  for (const Row &P : Rows) {
+    auto M = mustParse(P.Source);
+    TypeMetrics TM = computeTypeMetrics(*M);
+    GraphRun G = runGraph(*M);
+    Table.addRow(
+        {P.Name, std::to_string(M->numExprs()),
+         TablePrinter::num(TM.AvgTypeSize, 2), std::to_string(TM.MaxTypeSize),
+         std::to_string(TM.MaxOrder), TablePrinter::num(G.Stats.BuildNodes),
+         TablePrinter::num(double(G.Stats.BuildNodes) / M->numExprs(), 2),
+         TablePrinter::num(G.Stats.CloseNodes),
+         TablePrinter::num(double(G.Stats.CloseNodes) /
+                               double(G.Stats.BuildNodes),
+                           2)});
+  }
+  std::printf("%s\n", Table.render().c_str());
+}
+
+void BM_BuildPhase_Lexgen(benchmark::State &State) {
+  auto M = mustParse(makeLexgenLike(static_cast<int>(State.range(0))));
+  for (auto _ : State) {
+    SubtransitiveGraph G(*M);
+    G.build();
+    benchmark::DoNotOptimize(G.stats().BuildEdges);
+  }
+  State.counters["exprs"] = M->numExprs();
+}
+BENCHMARK(BM_BuildPhase_Lexgen)
+    ->Arg(40)
+    ->Arg(150)
+    ->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClosePhase_Lexgen(benchmark::State &State) {
+  auto M = mustParse(makeLexgenLike(static_cast<int>(State.range(0))));
+  for (auto _ : State) {
+    SubtransitiveGraph G(*M);
+    G.build();
+    G.close();
+    benchmark::DoNotOptimize(G.stats().CloseEdges);
+  }
+}
+BENCHMARK(BM_ClosePhase_Lexgen)
+    ->Arg(40)
+    ->Arg(150)
+    ->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+STCFA_BENCH_MAIN(printPaperTables)

@@ -1,0 +1,157 @@
+//===-- bench/bench_queries.cpp - E1/E10: the Section 2 query table -------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Section 2 complexity table empirically: the four query
+/// problems (`l ∈ L(e)?`, `L(e)`, `{e : l ∈ L(e)}`, all label sets) under
+/// the standard algorithm (solve everything, then read) and the new
+/// algorithm (build+close once, then graph reachability per query).
+/// Also covers E10: the quadratic all-label-sets pass, naive vs.
+/// SCC-condensed.
+///
+/// Expected shape: per-query cost for the new algorithm is roughly linear
+/// in program size, while the standard algorithm pays its full
+/// (superlinear) solve before the first answer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/Compression.h"
+#include "gen/Generators.h"
+#include "support/TablePrinter.h"
+
+using namespace stcfa;
+using namespace stcfa::bench;
+
+namespace {
+
+std::string workload(int N) {
+  RandomProgramOptions O;
+  O.Seed = 7;
+  O.NumBindings = N;
+  return makeRandomProgram(O);
+}
+
+void printPaperTables() {
+  std::printf("== Section 2 query problems: standard vs subtransitive ==\n");
+  TablePrinter Table({"bindings", "exprs", "std solve(ms)", "prep(ms)",
+                      "isIn(us)", "L(e)(us)", "occurs(us)", "all(ms)",
+                      "all-scc(ms)"});
+  for (int N : {50, 100, 200, 400, 800}) {
+    auto M = mustParse(workload(N));
+    StandardRun Std = runStandard(*M);
+    GraphRun G = runGraph(*M);
+    Reachability R(*G.Graph);
+
+    ExprId Root = M->root();
+    LabelId L0(0);
+
+    Timer T;
+    constexpr int Reps = 50;
+    for (int I = 0; I != Reps; ++I)
+      benchmark::DoNotOptimize(R.isLabelIn(Root, L0));
+    double IsInUs = T.millis() * 1000 / Reps;
+
+    T.reset();
+    for (int I = 0; I != Reps; ++I)
+      benchmark::DoNotOptimize(R.labelsOf(Root).count());
+    double LabelsUs = T.millis() * 1000 / Reps;
+
+    T.reset();
+    for (int I = 0; I != Reps; ++I)
+      benchmark::DoNotOptimize(R.occurrencesOf(L0).size());
+    double OccursUs = T.millis() * 1000 / Reps;
+
+    T.reset();
+    auto All = R.allLabelSets(/*UseScc=*/false);
+    double AllMs = T.millis();
+    T.reset();
+    auto AllScc = R.allLabelSets(/*UseScc=*/true);
+    double AllSccMs = T.millis();
+    // The two all-sets strategies must agree.
+    for (uint32_t I = 0; I != M->numExprs(); ++I) {
+      if (!(All[I] == AllScc[I])) {
+        std::fprintf(stderr, "all-label-sets mismatch at expr %u\n", I);
+        std::abort();
+      }
+    }
+
+    Table.addRow({std::to_string(N), std::to_string(M->numExprs()),
+                  TablePrinter::num(Std.TotalMs),
+                  TablePrinter::num(G.BuildMs + G.CloseMs),
+                  TablePrinter::num(IsInUs), TablePrinter::num(LabelsUs),
+                  TablePrinter::num(OccursUs), TablePrinter::num(AllMs),
+                  TablePrinter::num(AllSccMs)});
+  }
+  std::printf("%s\n", Table.render().c_str());
+
+  // Section 10's suggested improvement: chain compression of the query
+  // graph ("many nodes have only one outgoing edge").
+  std::printf("== Chain compression of the query graph ==\n");
+  TablePrinter T2({"bindings", "nodes", "kept", "ratio", "L(e) raw(us)",
+                   "L(e) compressed(us)"});
+  for (int N : {100, 400, 800}) {
+    auto M = mustParse(workload(N));
+    GraphRun G = runGraph(*M);
+    Reachability R(*G.Graph);
+    CompressedGraph CG(*G.Graph);
+    constexpr int Reps = 50;
+    Timer T;
+    for (int I = 0; I != Reps; ++I)
+      benchmark::DoNotOptimize(R.labelsOf(M->root()).count());
+    double RawUs = T.millis() * 1000 / Reps;
+    T.reset();
+    for (int I = 0; I != Reps; ++I)
+      benchmark::DoNotOptimize(CG.labelsOf(M->root()).count());
+    double CompUs = T.millis() * 1000 / Reps;
+    T2.addRow({std::to_string(N),
+               TablePrinter::num(uint64_t(CG.numOriginalNodes())),
+               TablePrinter::num(uint64_t(CG.numKeptNodes())),
+               TablePrinter::num(double(CG.numKeptNodes()) /
+                                     CG.numOriginalNodes(),
+                                 2),
+               TablePrinter::num(RawUs), TablePrinter::num(CompUs)});
+  }
+  std::printf("%s\n", T2.render().c_str());
+}
+
+void BM_Query_IsLabelIn(benchmark::State &State) {
+  auto M = mustParse(workload(static_cast<int>(State.range(0))));
+  GraphRun G = runGraph(*M);
+  Reachability R(*G.Graph);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(R.isLabelIn(M->root(), LabelId(0)));
+}
+BENCHMARK(BM_Query_IsLabelIn)->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+void BM_Query_LabelsOf(benchmark::State &State) {
+  auto M = mustParse(workload(static_cast<int>(State.range(0))));
+  GraphRun G = runGraph(*M);
+  Reachability R(*G.Graph);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(R.labelsOf(M->root()).count());
+}
+BENCHMARK(BM_Query_LabelsOf)->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+void BM_Query_AllLabelSets(benchmark::State &State) {
+  auto M = mustParse(workload(static_cast<int>(State.range(0))));
+  GraphRun G = runGraph(*M);
+  Reachability R(*G.Graph);
+  bool UseScc = State.range(1) != 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(R.allLabelSets(UseScc).size());
+}
+BENCHMARK(BM_Query_AllLabelSets)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({400, 0})
+    ->Args({400, 1})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+STCFA_BENCH_MAIN(printPaperTables)

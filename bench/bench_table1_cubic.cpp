@@ -1,0 +1,119 @@
+//===-- bench/bench_table1_cubic.cpp - E2: the paper's Table 1 ------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 1: the parameterized benchmark that drives the
+/// standard algorithm cubic.  Columns mirror the paper: program size, the
+/// standard/SBA solve (time and machine-independent work units), the
+/// subtransitive build phase (time, nodes), close phase (time, nodes),
+/// and the quadratic query-all pass over all non-trivial applications.
+///
+/// Expected shape (the paper's claim): the standard algorithm's work grows
+/// superlinearly (towards cubic) in the copy count, while build+close grow
+/// linearly; the query-all column grows quadratically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "gen/Generators.h"
+#include "support/TablePrinter.h"
+
+using namespace stcfa;
+using namespace stcfa::bench;
+
+namespace {
+
+void printPaperTables() {
+  std::printf("== Table 1: parameterized cubic benchmark "
+              "(paper Section 10) ==\n");
+  TablePrinter Table({"copies", "exprs", "std(ms)", "std work", "build(ms)",
+                      "build nodes", "close(ms)", "close nodes",
+                      "query-all(ms)"});
+  for (int N : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    auto M = mustParse(makeCubicFamily(N));
+    StandardRun Std = runStandard(*M);
+    GraphRun G = runGraph(*M);
+    double QueryMs = queryAllApplications(*M, *G.Graph);
+    Table.addRow({std::to_string(N), std::to_string(M->numExprs()),
+                  TablePrinter::num(Std.TotalMs), TablePrinter::num(Std.Work),
+                  TablePrinter::num(G.BuildMs),
+                  TablePrinter::num(G.Stats.BuildNodes),
+                  TablePrinter::num(G.CloseMs),
+                  TablePrinter::num(G.Stats.CloseNodes),
+                  TablePrinter::num(QueryMs)});
+  }
+  std::printf("%s\n", Table.render().c_str());
+
+  // Growth factors: the headline claim in one line each.
+  auto MSmall = mustParse(makeCubicFamily(16));
+  auto MBig = mustParse(makeCubicFamily(64));
+  StandardRun S1 = runStandard(*MSmall), S2 = runStandard(*MBig);
+  GraphRun G1 = runGraph(*MSmall), G2 = runGraph(*MBig);
+  std::printf("4x copies: std work x%.1f, graph edges x%.1f "
+              "(linear would be x4.0)\n\n",
+              double(S2.Work) / double(S1.Work),
+              double(G2.Stats.totalEdges()) / double(G1.Stats.totalEdges()));
+}
+
+void BM_StandardCFA_Cubic(benchmark::State &State) {
+  auto M = mustParse(makeCubicFamily(static_cast<int>(State.range(0))));
+  uint64_t Work = 0;
+  for (auto _ : State) {
+    StandardCFA CFA(*M);
+    CFA.run();
+    Work = CFA.stats().work();
+    benchmark::DoNotOptimize(Work);
+  }
+  State.counters["work"] = static_cast<double>(Work);
+  State.counters["exprs"] = M->numExprs();
+}
+BENCHMARK(BM_StandardCFA_Cubic)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Subtransitive_Cubic(benchmark::State &State) {
+  auto M = mustParse(makeCubicFamily(static_cast<int>(State.range(0))));
+  uint64_t Edges = 0;
+  for (auto _ : State) {
+    SubtransitiveGraph G(*M);
+    G.build();
+    G.close();
+    Edges = G.stats().totalEdges();
+    benchmark::DoNotOptimize(Edges);
+  }
+  State.counters["edges"] = static_cast<double>(Edges);
+  State.counters["exprs"] = M->numExprs();
+}
+BENCHMARK(BM_Subtransitive_Cubic)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QueryAll_Cubic(benchmark::State &State) {
+  auto M = mustParse(makeCubicFamily(static_cast<int>(State.range(0))));
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  for (auto _ : State) {
+    uint64_t Labels = 0;
+    queryAllApplications(*M, G, &Labels);
+    benchmark::DoNotOptimize(Labels);
+  }
+}
+BENCHMARK(BM_QueryAll_Cubic)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+STCFA_BENCH_MAIN(printPaperTables)

@@ -1,0 +1,131 @@
+//===-- bench/bench_table2_programs.cpp - E3: the paper's Table 2 ---------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 2: realistic programs (life ~150 lines, lexgen ~1180
+/// lines).  Columns: program, size (lines), SBA/standard total time, the
+/// subtransitive build time and node count, close time and node count —
+/// plus our unification baseline for context.
+///
+/// Expected shape: the subtransitive analysis beats the standard solve by
+/// a small multiple (the paper reports 2.5–3x), and the close phase adds
+/// no more nodes than the build phase on realistic programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "gen/Corpus.h"
+#include "support/TablePrinter.h"
+#include "unify/UnificationCFA.h"
+
+#include <algorithm>
+
+using namespace stcfa;
+using namespace stcfa::bench;
+
+namespace {
+
+int countLines(const std::string &S) {
+  return static_cast<int>(std::count(S.begin(), S.end(), '\n'));
+}
+
+double median3(double A, double B, double C) {
+  return std::max(std::min(A, B), std::min(std::max(A, B), C));
+}
+
+void printPaperTables() {
+  std::printf("== Table 2: realistic programs (paper Section 10) ==\n");
+  TablePrinter Table({"prog", "lines", "std(ms)", "build(ms)", "build nodes",
+                      "close(ms)", "close nodes", "speedup", "unify(ms)"});
+  struct Row {
+    const char *Name;
+    std::string Source;
+  };
+  Row Rows[] = {{"life", lifeProgram()},
+                {"lexgen", makeLexgenLike()},
+                {"lexgen-x4", makeLexgenLike(380)}};
+  for (const Row &P : Rows) {
+    auto M = mustParse(P.Source);
+    // Median of three runs, like the paper's best-of-10 but cheaper.
+    StandardRun S1 = runStandard(*M), S2 = runStandard(*M),
+                S3 = runStandard(*M);
+    double StdMs = median3(S1.TotalMs, S2.TotalMs, S3.TotalMs);
+    GraphRun G1 = runGraph(*M), G2 = runGraph(*M), G3 = runGraph(*M);
+    double BuildMs = median3(G1.BuildMs, G2.BuildMs, G3.BuildMs);
+    double CloseMs = median3(G1.CloseMs, G2.CloseMs, G3.CloseMs);
+
+    Timer T;
+    UnificationCFA U(*M);
+    U.run();
+    double UnifyMs = T.millis();
+
+    Table.addRow(
+        {P.Name, std::to_string(countLines(P.Source)),
+         TablePrinter::num(StdMs), TablePrinter::num(BuildMs),
+         TablePrinter::num(G1.Stats.BuildNodes), TablePrinter::num(CloseMs),
+         TablePrinter::num(G1.Stats.CloseNodes),
+         TablePrinter::num(StdMs / (BuildMs + CloseMs), 1) + "x",
+         TablePrinter::num(UnifyMs)});
+  }
+  std::printf("%s\n", Table.render().c_str());
+}
+
+void BM_Standard_Life(benchmark::State &State) {
+  auto M = mustParse(lifeProgram());
+  for (auto _ : State) {
+    StandardCFA CFA(*M);
+    CFA.run();
+    benchmark::DoNotOptimize(CFA.stats().Propagations);
+  }
+}
+BENCHMARK(BM_Standard_Life)->Unit(benchmark::kMillisecond);
+
+void BM_Subtransitive_Life(benchmark::State &State) {
+  auto M = mustParse(lifeProgram());
+  for (auto _ : State) {
+    SubtransitiveGraph G(*M);
+    G.build();
+    G.close();
+    benchmark::DoNotOptimize(G.stats().CloseEdges);
+  }
+}
+BENCHMARK(BM_Subtransitive_Life)->Unit(benchmark::kMillisecond);
+
+void BM_Standard_Lexgen(benchmark::State &State) {
+  auto M = mustParse(makeLexgenLike());
+  for (auto _ : State) {
+    StandardCFA CFA(*M);
+    CFA.run();
+    benchmark::DoNotOptimize(CFA.stats().Propagations);
+  }
+}
+BENCHMARK(BM_Standard_Lexgen)->Unit(benchmark::kMillisecond);
+
+void BM_Subtransitive_Lexgen(benchmark::State &State) {
+  auto M = mustParse(makeLexgenLike());
+  for (auto _ : State) {
+    SubtransitiveGraph G(*M);
+    G.build();
+    G.close();
+    benchmark::DoNotOptimize(G.stats().CloseEdges);
+  }
+}
+BENCHMARK(BM_Subtransitive_Lexgen)->Unit(benchmark::kMillisecond);
+
+void BM_Unify_Lexgen(benchmark::State &State) {
+  auto M = mustParse(makeLexgenLike());
+  for (auto _ : State) {
+    UnificationCFA U(*M);
+    U.run();
+    benchmark::DoNotOptimize(U.unions());
+  }
+}
+BENCHMARK(BM_Unify_Lexgen)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+STCFA_BENCH_MAIN(printPaperTables)

@@ -1,0 +1,276 @@
+//===-- analysis/DeadCodeAwareCFA.cpp - Liveness-gated 0-CFA --------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DeadCodeAwareCFA.h"
+
+using namespace stcfa;
+
+DeadCodeAwareCFA::DeadCodeAwareCFA(const Module &M) : M(M) {
+  ValueOfExpr.assign(M.numExprs(), ~0u);
+  CellOfExpr.assign(M.numExprs(), ~0u);
+  NumValues = M.numLabels();
+  ValueSite.resize(M.numLabels());
+  for (uint32_t L = 0; L != M.numLabels(); ++L) {
+    ExprId Lam = M.lamOfLabel(LabelId(L));
+    ValueSite[L] = Lam;
+    ValueOfExpr[Lam.index()] = L;
+  }
+  uint32_t NumCells = 0;
+  forEachExprPreorder(M, M.root(), [&](ExprId Id, const Expr *E) {
+    bool IsRef =
+        isa<PrimExpr>(E) && cast<PrimExpr>(E)->op() == PrimOp::RefNew;
+    if (IsRef)
+      CellOfExpr[Id.index()] = M.numExprs() + M.numVars() + NumCells++;
+    if (!IsRef && !isa<TupleExpr>(E) && !isa<ConExpr>(E))
+      return;
+    ValueOfExpr[Id.index()] = NumValues++;
+    ValueSite.push_back(Id);
+  });
+
+  uint32_t NumSets = M.numExprs() + M.numVars() + NumCells;
+  Sets.assign(NumSets, DenseBitset(NumValues));
+  Succs.resize(NumSets);
+  TriggersOf.resize(NumSets);
+  Live.assign(M.numExprs(), false);
+  BodyActivated.assign(M.numLabels(), false);
+}
+
+void DeadCodeAwareCFA::addEdge(uint32_t Src, uint32_t Dst) {
+  uint64_t Key = (uint64_t(Src) + 1) << 32 | (uint64_t(Dst) + 1);
+  if (!EdgeSet.insert(Key))
+    return;
+  Succs[Src].push_back(Dst);
+  Sets[Src].forEach([&](uint32_t V) { queueInsert(Dst, V); });
+}
+
+void DeadCodeAwareCFA::queueInsert(uint32_t Set, uint32_t Value) {
+  if (!Sets[Set].insert(Value))
+    return;
+  Pending.emplace_back(Set, Value);
+}
+
+void DeadCodeAwareCFA::markLive(ExprId E) {
+  if (Live[E.index()])
+    return;
+  Live[E.index()] = true;
+  LiveWorklist.push_back(E);
+}
+
+/// Installs the constraints of one (newly live) occurrence and marks its
+/// evaluated children live.  Lambda bodies stay dormant until the lambda
+/// is applied from live code.
+void DeadCodeAwareCFA::activate(ExprId Id) {
+  const Expr *E = M.expr(Id);
+  auto trigger = [&](Trigger::KindT Kind, ExprId Site, uint32_t OnSet) {
+    TriggersOf[OnSet].push_back(static_cast<uint32_t>(Triggers.size()));
+    Triggers.push_back({Kind, Site});
+    // Values that already arrived fire immediately.
+    uint32_t Index = static_cast<uint32_t>(Triggers.size() - 1);
+    Sets[OnSet].forEach([&](uint32_t V) { fireTrigger(Index, V); });
+  };
+
+  switch (E->kind()) {
+  case ExprKind::Var:
+    addEdge(setOfVar(cast<VarExpr>(E)->var()), setOfExpr(Id));
+    return;
+  case ExprKind::Lam:
+    queueInsert(setOfExpr(Id), cast<LamExpr>(E)->label().index());
+    return; // the body waits for a live application
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    markLive(A->fn());
+    markLive(A->arg());
+    trigger(Trigger::AppFn, Id, setOfExpr(A->fn()));
+    return;
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    markLive(L->init()); // call-by-value: initializers always run
+    markLive(L->body());
+    addEdge(setOfExpr(L->init()), setOfVar(L->var()));
+    addEdge(setOfExpr(L->body()), setOfExpr(Id));
+    return;
+  }
+  case ExprKind::LetRecN: {
+    const auto *L = cast<LetRecNExpr>(E);
+    for (const LetRecNExpr::Binding &B : L->bindings()) {
+      markLive(B.Init); // the closures are built eagerly
+      addEdge(setOfExpr(B.Init), setOfVar(B.Var));
+    }
+    markLive(L->body());
+    addEdge(setOfExpr(L->body()), setOfExpr(Id));
+    return;
+  }
+  case ExprKind::Lit:
+    return;
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    markLive(I->cond());
+    markLive(I->thenExpr());
+    markLive(I->elseExpr());
+    addEdge(setOfExpr(I->thenExpr()), setOfExpr(Id));
+    addEdge(setOfExpr(I->elseExpr()), setOfExpr(Id));
+    return;
+  }
+  case ExprKind::Tuple:
+    for (ExprId C : cast<TupleExpr>(E)->elems())
+      markLive(C);
+    queueInsert(setOfExpr(Id), ValueOfExpr[Id.index()]);
+    return;
+  case ExprKind::Proj: {
+    const auto *P = cast<ProjExpr>(E);
+    markLive(P->tuple());
+    trigger(Trigger::ProjTuple, Id, setOfExpr(P->tuple()));
+    return;
+  }
+  case ExprKind::Con:
+    for (ExprId C : cast<ConExpr>(E)->args())
+      markLive(C);
+    queueInsert(setOfExpr(Id), ValueOfExpr[Id.index()]);
+    return;
+  case ExprKind::Case: {
+    const auto *C = cast<CaseExpr>(E);
+    markLive(C->scrutinee());
+    trigger(Trigger::CaseScrutinee, Id, setOfExpr(C->scrutinee()));
+    for (const CaseArm &Arm : C->arms()) {
+      markLive(Arm.Body);
+      addEdge(setOfExpr(Arm.Body), setOfExpr(Id));
+    }
+    return;
+  }
+  case ExprKind::Prim: {
+    const auto *P = cast<PrimExpr>(E);
+    for (ExprId C : P->args())
+      markLive(C);
+    switch (P->op()) {
+    case PrimOp::RefNew:
+      queueInsert(setOfExpr(Id), ValueOfExpr[Id.index()]);
+      addEdge(setOfExpr(P->args()[0]), setOfCell(Id));
+      return;
+    case PrimOp::RefGet:
+      trigger(Trigger::RefRead, Id, setOfExpr(P->args()[0]));
+      return;
+    case PrimOp::RefSet:
+      trigger(Trigger::RefWrite, Id, setOfExpr(P->args()[0]));
+      return;
+    default:
+      return;
+    }
+  }
+  }
+  assert(false && "unknown expression kind");
+}
+
+void DeadCodeAwareCFA::fireTrigger(uint32_t TriggerIndex, uint32_t Value) {
+  const Trigger T = Triggers[TriggerIndex];
+  const Expr *SiteValue = M.expr(ValueSite[Value]);
+  switch (T.Kind) {
+  case Trigger::AppFn: {
+    const auto *Lam = dyn_cast<LamExpr>(SiteValue);
+    if (!Lam)
+      return;
+    const auto *App = cast<AppExpr>(M.expr(T.Site));
+    addEdge(setOfExpr(App->arg()), setOfVar(Lam->param()));
+    addEdge(setOfExpr(Lam->body()), setOfExpr(T.Site));
+    // The liveness refinement: a body runs once the function is applied.
+    if (!BodyActivated[Lam->label().index()]) {
+      BodyActivated[Lam->label().index()] = true;
+      markLive(Lam->body());
+    }
+    return;
+  }
+  case Trigger::ProjTuple: {
+    const auto *Tuple = dyn_cast<TupleExpr>(SiteValue);
+    if (!Tuple)
+      return;
+    const auto *Proj = cast<ProjExpr>(M.expr(T.Site));
+    if (Proj->index() < Tuple->elems().size())
+      addEdge(setOfExpr(Tuple->elems()[Proj->index()]), setOfExpr(T.Site));
+    return;
+  }
+  case Trigger::CaseScrutinee: {
+    const auto *Con = dyn_cast<ConExpr>(SiteValue);
+    if (!Con)
+      return;
+    const auto *Case = cast<CaseExpr>(M.expr(T.Site));
+    for (const CaseArm &Arm : Case->arms()) {
+      if (Arm.Con != Con->con())
+        continue;
+      for (size_t I = 0; I != Arm.Binders.size(); ++I)
+        addEdge(setOfExpr(Con->args()[I]), setOfVar(Arm.Binders[I]));
+    }
+    return;
+  }
+  case Trigger::RefRead: {
+    const auto *Prim = dyn_cast<PrimExpr>(SiteValue);
+    if (!Prim || Prim->op() != PrimOp::RefNew)
+      return;
+    addEdge(setOfCell(ValueSite[Value]), setOfExpr(T.Site));
+    return;
+  }
+  case Trigger::RefWrite: {
+    const auto *Prim = dyn_cast<PrimExpr>(SiteValue);
+    if (!Prim || Prim->op() != PrimOp::RefNew)
+      return;
+    const auto *Write = cast<PrimExpr>(M.expr(T.Site));
+    addEdge(setOfExpr(Write->args()[1]), setOfCell(ValueSite[Value]));
+    return;
+  }
+  }
+}
+
+void DeadCodeAwareCFA::run() {
+  assert(!HasRun && "run() called twice");
+  HasRun = true;
+  markLive(M.root());
+  while (!LiveWorklist.empty() || !Pending.empty()) {
+    if (!LiveWorklist.empty()) {
+      ExprId E = LiveWorklist.front();
+      LiveWorklist.pop_front();
+      activate(E);
+      continue;
+    }
+    auto [Set, Value] = Pending.front();
+    Pending.pop_front();
+    for (uint32_t T : TriggersOf[Set])
+      fireTrigger(T, Value);
+    for (uint32_t Dst : Succs[Set])
+      queueInsert(Dst, Value);
+  }
+}
+
+DenseBitset DeadCodeAwareCFA::labelSet(ExprId E) const {
+  assert(HasRun && "labelSet before run()");
+  DenseBitset Out(M.numLabels());
+  Sets[E.index()].forEach([&](uint32_t V) {
+    if (V < M.numLabels())
+      Out.insert(V);
+  });
+  return Out;
+}
+
+DenseBitset DeadCodeAwareCFA::labelSetOfVar(VarId V) const {
+  assert(HasRun && "labelSetOfVar before run()");
+  DenseBitset Out(M.numLabels());
+  Sets[M.numExprs() + V.index()].forEach([&](uint32_t Val) {
+    if (Val < M.numLabels())
+      Out.insert(Val);
+  });
+  return Out;
+}
+
+std::vector<LabelId> DeadCodeAwareCFA::deadFunctions() const {
+  assert(HasRun && "deadFunctions before run()");
+  std::vector<LabelId> Out;
+  for (uint32_t L = 0; L != M.numLabels(); ++L) {
+    // A function is dead when its own abstraction is dead code, or when
+    // it is never applied (body never activated).
+    ExprId Lam = M.lamOfLabel(LabelId(L));
+    if (!Live[Lam.index()] || !BodyActivated[L])
+      Out.push_back(LabelId(L));
+  }
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===-- analysis/HybridCFA.cpp - The Conclusion's hybrid analysis ---------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/HybridCFA.h"
+
+using namespace stcfa;
+
+HybridCFA::HybridCFA(const Module &M, uint32_t BudgetFactor)
+    : M(M), BudgetFactor(BudgetFactor) {}
+
+void HybridCFA::run() {
+  assert(!HasRun && "run() called twice");
+  HasRun = true;
+
+  // Attempt the subtransitive analysis with exact datatype tracking (so a
+  // success has exactly standard-CFA precision) and a linear node budget.
+  SubtransitiveConfig C;
+  C.Congruence = CongruenceMode::None;
+  C.MaxNodes = uint64_t(BudgetFactor) * M.numExprs() + 1024;
+  Graph = std::make_unique<SubtransitiveGraph>(M, C);
+  Graph->build();
+  Graph->close();
+  if (!Graph->aborted() && Graph->stats().Widenings == 0) {
+    Reach = std::make_unique<Reachability>(*Graph);
+    Used = Engine::Subtransitive;
+    return;
+  }
+
+  // Outside the bounded-type classes: fall back to the standard
+  // algorithm, which terminates for arbitrary programs.
+  Graph.reset();
+  Fallback = std::make_unique<StandardCFA>(M);
+  Fallback->run();
+  Used = Engine::Standard;
+}
+
+DenseBitset HybridCFA::labelSet(ExprId E) {
+  assert(HasRun && "query before run()");
+  return Used == Engine::Subtransitive ? Reach->labelsOf(E)
+                                       : Fallback->labelSet(E);
+}
+
+DenseBitset HybridCFA::labelSetOfVar(VarId V) {
+  assert(HasRun && "query before run()");
+  return Used == Engine::Subtransitive ? Reach->labelsOfVar(V)
+                                       : Fallback->labelSetOfVar(V);
+}

@@ -1,0 +1,67 @@
+//===-- analysis/HybridCFA.h - The Conclusion's hybrid analysis -*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hybrid the paper's Conclusion proposes: "Our algorithm could
+/// potentially be combined with the standard cubic-time CFA algorithm to
+/// obtain a hybrid algorithm that terminates for arbitrary programs but is
+/// linear for bounded-type programs."
+///
+/// Strategy: attempt the subtransitive analysis with exact datatype
+/// tracking and a node budget proportional to the program size.  If the
+/// close phase blows the budget or the depth widening engages — the
+/// signatures of a program outside the bounded-type classes — discard the
+/// graph and run the standard (always-terminating) algorithm instead.
+/// On bounded-type programs the subtransitive attempt succeeds and the
+/// whole analysis is (near-)linear, with exactly standard-CFA precision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_ANALYSIS_HYBRIDCFA_H
+#define STCFA_ANALYSIS_HYBRIDCFA_H
+
+#include "analysis/StandardCFA.h"
+#include "core/Reachability.h"
+#include "core/SubtransitiveGraph.h"
+
+#include <memory>
+
+namespace stcfa {
+
+/// Subtransitive-first CFA with a cubic fallback.
+class HybridCFA {
+public:
+  /// \p BudgetFactor bounds the subtransitive attempt at
+  /// `BudgetFactor * numExprs` nodes before falling back.
+  explicit HybridCFA(const Module &M, uint32_t BudgetFactor = 8);
+
+  void run();
+
+  /// Which engine produced the results.
+  enum class Engine : uint8_t { Subtransitive, Standard };
+  Engine engine() const { return Used; }
+
+  /// Labels flowing to occurrence \p E (per-query reachability under the
+  /// subtransitive engine; a table read under the fallback).
+  DenseBitset labelSet(ExprId E);
+  DenseBitset labelSetOfVar(VarId V);
+
+  /// The graph, when the subtransitive engine succeeded (else null).
+  const SubtransitiveGraph *graph() const { return Graph.get(); }
+
+private:
+  const Module &M;
+  uint32_t BudgetFactor;
+  Engine Used = Engine::Subtransitive;
+  std::unique_ptr<SubtransitiveGraph> Graph;
+  std::unique_ptr<Reachability> Reach;
+  std::unique_ptr<StandardCFA> Fallback;
+  bool HasRun = false;
+};
+
+} // namespace stcfa
+
+#endif // STCFA_ANALYSIS_HYBRIDCFA_H

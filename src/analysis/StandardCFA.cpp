@@ -1,0 +1,231 @@
+//===-- analysis/StandardCFA.cpp - The cubic baseline analysis ------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StandardCFA.h"
+
+using namespace stcfa;
+
+StandardCFA::StandardCFA(const Module &M) : M(M) {
+  // Assign abstract-value ids: labels first (so a label's value id equals
+  // its LabelId index), then tuple, constructor, and ref-cell sites.
+  ValueOfExpr.assign(M.numExprs(), ~0u);
+  NumValues = M.numLabels();
+  ValueSite.resize(M.numLabels());
+  for (uint32_t L = 0; L != M.numLabels(); ++L) {
+    ExprId Lam = M.lamOfLabel(LabelId(L));
+    ValueSite[L] = Lam;
+    ValueOfExpr[Lam.index()] = L;
+  }
+  CellOfExpr.assign(M.numExprs(), ~0u);
+  uint32_t NumCells = 0;
+  forEachExprPreorder(M, M.root(), [&](ExprId Id, const Expr *E) {
+    bool IsRef =
+        isa<PrimExpr>(E) && cast<PrimExpr>(E)->op() == PrimOp::RefNew;
+    if (IsRef)
+      CellOfExpr[Id.index()] = M.numExprs() + M.numVars() + NumCells++;
+    if (!IsRef && !isa<TupleExpr>(E) && !isa<ConExpr>(E))
+      return;
+    ValueOfExpr[Id.index()] = NumValues++;
+    ValueSite.push_back(Id);
+  });
+
+  uint32_t NumSets = M.numExprs() + M.numVars() + NumCells;
+  Sets.assign(NumSets, DenseBitset(NumValues));
+  Succs.resize(NumSets);
+  TriggersOf.resize(NumSets);
+}
+
+void StandardCFA::addEdge(uint32_t Src, uint32_t Dst) {
+  uint64_t Key = (uint64_t(Src) + 1) << 32 | (uint64_t(Dst) + 1);
+  if (!EdgeSet.insert(Key))
+    return;
+  ++Stats.Edges;
+  Succs[Src].push_back(Dst);
+  // Transmit everything already known at the source.
+  Sets[Src].forEach([&](uint32_t V) {
+    ++Stats.Propagations;
+    queueInsert(Dst, V);
+  });
+}
+
+void StandardCFA::queueInsert(uint32_t Set, uint32_t Value) {
+  if (!Sets[Set].insert(Value))
+    return;
+  ++Stats.SetInsertions;
+  Pending.emplace_back(Set, Value);
+}
+
+void StandardCFA::buildStaticConstraints() {
+  auto trigger = [&](Trigger::KindT Kind, ExprId Site, uint32_t OnSet) {
+    TriggersOf[OnSet].push_back(static_cast<uint32_t>(Triggers.size()));
+    Triggers.push_back({Kind, Site});
+  };
+
+  forEachExprPreorder(M, M.root(), [&](ExprId Id, const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::Var:
+      // L(occurrence) >= L(binder).
+      addEdge(setOfVar(cast<VarExpr>(E)->var()), setOfExpr(Id));
+      break;
+    case ExprKind::Lam:
+      queueInsert(setOfExpr(Id), cast<LamExpr>(E)->label().index());
+      break;
+    case ExprKind::App: {
+      const auto *A = cast<AppExpr>(E);
+      trigger(Trigger::AppFn, Id, setOfExpr(A->fn()));
+      break;
+    }
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      addEdge(setOfExpr(L->init()), setOfVar(L->var()));
+      addEdge(setOfExpr(L->body()), setOfExpr(Id));
+      break;
+    }
+    case ExprKind::LetRecN: {
+      const auto *L = cast<LetRecNExpr>(E);
+      for (const LetRecNExpr::Binding &B : L->bindings())
+        addEdge(setOfExpr(B.Init), setOfVar(B.Var));
+      addEdge(setOfExpr(L->body()), setOfExpr(Id));
+      break;
+    }
+    case ExprKind::Lit:
+      break;
+    case ExprKind::If: {
+      const auto *I = cast<IfExpr>(E);
+      addEdge(setOfExpr(I->thenExpr()), setOfExpr(Id));
+      addEdge(setOfExpr(I->elseExpr()), setOfExpr(Id));
+      break;
+    }
+    case ExprKind::Tuple:
+    case ExprKind::Con:
+      queueInsert(setOfExpr(Id), ValueOfExpr[Id.index()]);
+      break;
+    case ExprKind::Proj: {
+      const auto *P = cast<ProjExpr>(E);
+      trigger(Trigger::ProjTuple, Id, setOfExpr(P->tuple()));
+      break;
+    }
+    case ExprKind::Case: {
+      const auto *C = cast<CaseExpr>(E);
+      trigger(Trigger::CaseScrutinee, Id, setOfExpr(C->scrutinee()));
+      // All arm results flow to the case (branch reachability is not
+      // tracked, matching the subtransitive graph's unconditional
+      // `case -> arm` edges).
+      for (const CaseArm &Arm : C->arms())
+        addEdge(setOfExpr(Arm.Body), setOfExpr(Id));
+      break;
+    }
+    case ExprKind::Prim: {
+      const auto *P = cast<PrimExpr>(E);
+      switch (P->op()) {
+      case PrimOp::RefNew:
+        queueInsert(setOfExpr(Id), ValueOfExpr[Id.index()]);
+        // The initial contents flow into the cell.
+        addEdge(setOfExpr(P->args()[0]), setOfCell(Id));
+        break;
+      case PrimOp::RefGet:
+        trigger(Trigger::RefRead, Id, setOfExpr(P->args()[0]));
+        break;
+      case PrimOp::RefSet:
+        trigger(Trigger::RefWrite, Id, setOfExpr(P->args()[0]));
+        break;
+      default:
+        break; // arithmetic etc. produce untracked base values
+      }
+      break;
+    }
+    }
+  });
+}
+
+void StandardCFA::fireTrigger(uint32_t TriggerIndex, uint32_t Value) {
+  const Trigger &T = Triggers[TriggerIndex];
+  const Expr *SiteValue = M.expr(ValueSite[Value]);
+  switch (T.Kind) {
+  case Trigger::AppFn: {
+    const auto *Lam = dyn_cast<LamExpr>(SiteValue);
+    if (!Lam)
+      return;
+    const auto *App = cast<AppExpr>(M.expr(T.Site));
+    addEdge(setOfExpr(App->arg()), setOfVar(Lam->param()));
+    addEdge(setOfExpr(Lam->body()), setOfExpr(T.Site));
+    return;
+  }
+  case Trigger::ProjTuple: {
+    const auto *Tuple = dyn_cast<TupleExpr>(SiteValue);
+    if (!Tuple)
+      return;
+    const auto *Proj = cast<ProjExpr>(M.expr(T.Site));
+    if (Proj->index() < Tuple->elems().size())
+      addEdge(setOfExpr(Tuple->elems()[Proj->index()]), setOfExpr(T.Site));
+    return;
+  }
+  case Trigger::CaseScrutinee: {
+    const auto *Con = dyn_cast<ConExpr>(SiteValue);
+    if (!Con)
+      return;
+    const auto *Case = cast<CaseExpr>(M.expr(T.Site));
+    for (const CaseArm &Arm : Case->arms()) {
+      if (Arm.Con != Con->con())
+        continue;
+      for (size_t I = 0; I != Arm.Binders.size(); ++I)
+        addEdge(setOfExpr(Con->args()[I]), setOfVar(Arm.Binders[I]));
+    }
+    return;
+  }
+  case Trigger::RefRead: {
+    const auto *Prim = dyn_cast<PrimExpr>(SiteValue);
+    if (!Prim || Prim->op() != PrimOp::RefNew)
+      return;
+    addEdge(setOfCell(ValueSite[Value]), setOfExpr(T.Site));
+    return;
+  }
+  case Trigger::RefWrite: {
+    const auto *Prim = dyn_cast<PrimExpr>(SiteValue);
+    if (!Prim || Prim->op() != PrimOp::RefNew)
+      return;
+    const auto *Write = cast<PrimExpr>(M.expr(T.Site));
+    addEdge(setOfExpr(Write->args()[1]), setOfCell(ValueSite[Value]));
+    return;
+  }
+  }
+}
+
+void StandardCFA::run() {
+  assert(!HasRun && "run() called twice");
+  HasRun = true;
+  buildStaticConstraints();
+  while (!Pending.empty()) {
+    auto [Set, Value] = Pending.front();
+    Pending.pop_front();
+    for (uint32_t T : TriggersOf[Set])
+      fireTrigger(T, Value);
+    for (uint32_t Dst : Succs[Set]) {
+      ++Stats.Propagations;
+      queueInsert(Dst, Value);
+    }
+  }
+}
+
+DenseBitset StandardCFA::labelSet(ExprId E) const {
+  assert(HasRun && "labelSet before run()");
+  DenseBitset Out(M.numLabels());
+  Sets[E.index()].forEach([&](uint32_t V) {
+    if (V < M.numLabels())
+      Out.insert(V);
+  });
+  return Out;
+}
+
+DenseBitset StandardCFA::labelSetOfVar(VarId V) const {
+  assert(HasRun && "labelSetOfVar before run()");
+  DenseBitset Out(M.numLabels());
+  Sets[M.numExprs() + V.index()].forEach([&](uint32_t Val) {
+    if (Val < M.numLabels())
+      Out.insert(Val);
+  });
+  return Out;
+}

@@ -1,0 +1,134 @@
+//===-- apps/EffectsAnalysis.cpp - Linear-time effects analysis -----------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/EffectsAnalysis.h"
+
+#include "analysis/StandardCFA.h"
+
+using namespace stcfa;
+
+EffectsAnalysis::EffectsAnalysis(const SubtransitiveGraph &G)
+    : G(G), M(G.module()), RedExpr(M.numExprs(), false),
+      RedNode(G.numNodes(), false), ExprDeps(M.numExprs()),
+      AppsOnRan(G.numNodes()) {}
+
+void EffectsAnalysis::markExpr(ExprId E) {
+  if (RedExpr[E.index()])
+    return;
+  RedExpr[E.index()] = true;
+  ++NumRed;
+  ExprWorklist.push_back(E);
+  NodeId N = G.lookupExprNode(E);
+  if (N.isValid())
+    markNode(N);
+}
+
+void EffectsAnalysis::markNode(NodeId N) {
+  if (RedNode[N.index()])
+    return;
+  RedNode[N.index()] = true;
+  NodeWorklist.push_back(N);
+}
+
+void EffectsAnalysis::run() {
+  assert(!HasRun && "run() called twice");
+  HasRun = true;
+
+  // One linear pass: seed the side-effecting primitives and record the
+  // structural dependencies child -> parent (skipping lambda bodies) plus
+  // the app -> ran(operator) registrations.
+  forEachExprPreorder(M, M.root(), [&](ExprId Id, const Expr *E) {
+    if (!isa<LamExpr>(E))
+      forEachChild(E, [&](ExprId C) { ExprDeps[C.index()].push_back(Id); });
+    if (const auto *P = dyn_cast<PrimExpr>(E)) {
+      if (isEffectfulPrim(P->op()))
+        markExpr(Id);
+    }
+    if (const auto *A = dyn_cast<AppExpr>(E)) {
+      NodeId Fn = G.lookupExprNode(A->fn());
+      if (Fn.isValid()) {
+        NodeId Ran = G.lookupDerived(NodeOp::Ran, Fn);
+        // APP-2 created ran(fn) during the build phase.
+        if (Ran.isValid())
+          AppsOnRan[Ran.index()].push_back(Id);
+      }
+    }
+  });
+
+  // Fixpoint: redness flows from children to parents, and backwards along
+  // graph edges into ran-nodes (the paper's rule (b)).
+  while (!ExprWorklist.empty() || !NodeWorklist.empty()) {
+    if (!ExprWorklist.empty()) {
+      ExprId E = ExprWorklist.back();
+      ExprWorklist.pop_back();
+      for (ExprId Parent : ExprDeps[E.index()])
+        markExpr(Parent);
+      continue;
+    }
+    NodeId N = NodeWorklist.back();
+    NodeWorklist.pop_back();
+    // Rule (b): a ran-node with an edge to a red node is red.
+    for (NodeId P : G.preds(N))
+      if (G.op(P) == NodeOp::Ran)
+        markNode(P);
+    // Rule (a), third disjunct: a call site whose ran(operator) is red.
+    if (G.op(N) == NodeOp::Ran)
+      for (ExprId App : AppsOnRan[N.index()])
+        markExpr(App);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reference implementation over standard CFA
+//===----------------------------------------------------------------------===//
+
+EffectsAnalysisRef::EffectsAnalysisRef(const Module &M, const StandardCFA &CFA)
+    : M(M), CFA(CFA), Red(M.numExprs(), false) {}
+
+void EffectsAnalysisRef::run() {
+  // Naive fixpoint: iterate the syntactic rules over the full label-set
+  // representation until nothing changes.
+  bool Changed = true;
+  auto mark = [&](ExprId E) {
+    if (Red[E.index()])
+      return;
+    Red[E.index()] = true;
+    ++NumRed;
+    Changed = true;
+  };
+
+  while (Changed) {
+    Changed = false;
+    forEachExprPreorder(M, M.root(), [&](ExprId Id, const Expr *E) {
+      if (Red[Id.index()])
+        return;
+      if (const auto *P = dyn_cast<PrimExpr>(E)) {
+        if (isEffectfulPrim(P->op())) {
+          mark(Id);
+          return;
+        }
+      }
+      // Evaluated children.
+      bool ChildRed = false;
+      if (!isa<LamExpr>(E))
+        forEachChild(E, [&](ExprId C) { ChildRed |= Red[C.index()]; });
+      if (ChildRed) {
+        mark(Id);
+        return;
+      }
+      // A call site is red when any callee body is red.
+      if (const auto *A = dyn_cast<AppExpr>(E)) {
+        bool CalleeRed = false;
+        CFA.labelSet(A->fn()).forEach([&](uint32_t L) {
+          const auto *Lam = cast<LamExpr>(M.expr(M.lamOfLabel(LabelId(L))));
+          CalleeRed |= Red[Lam->body().index()];
+        });
+        if (CalleeRed)
+          mark(Id);
+      }
+    });
+  }
+}

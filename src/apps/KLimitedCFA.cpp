@@ -1,0 +1,152 @@
+//===-- apps/KLimitedCFA.cpp - Linear-time k-limited CFA ------------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/KLimitedCFA.h"
+
+#include <algorithm>
+
+using namespace stcfa;
+
+bool LimitedSet::insert(uint32_t Id, uint32_t K) {
+  if (Many)
+    return false;
+  auto It = std::lower_bound(Ids.begin(), Ids.end(), Id);
+  if (It != Ids.end() && *It == Id)
+    return false;
+  if (Ids.size() >= K) {
+    Many = true;
+    Ids.clear();
+    return true;
+  }
+  Ids.insert(It, Id);
+  return true;
+}
+
+bool LimitedSet::mergeFrom(const LimitedSet &Other, uint32_t K) {
+  if (Many)
+    return false;
+  if (Other.Many) {
+    Many = true;
+    Ids.clear();
+    return true;
+  }
+  bool Changed = false;
+  for (uint32_t Id : Other.Ids) {
+    Changed |= insert(Id, K);
+    if (Many)
+      return true;
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// KLimitedCFA
+//===----------------------------------------------------------------------===//
+
+KLimitedCFA::KLimitedCFA(const SubtransitiveGraph &G, uint32_t K)
+    : G(G), M(G.module()), K(K), Ann(G.numNodes()) {}
+
+void KLimitedCFA::run() {
+  assert(!HasRun && "run() called twice");
+  HasRun = true;
+
+  // Seed: every node carrying a label knows at least itself; propagate
+  // against the edges (a predecessor's set contains its successors').
+  std::vector<NodeId> Worklist;
+  for (uint32_t N = 0, E = G.numNodes(); N != E; ++N) {
+    if (LabelId L = G.labelOf(NodeId(N)); L.isValid()) {
+      Ann[N].insert(L.index(), K);
+      Worklist.push_back(NodeId(N));
+    }
+  }
+  while (!Worklist.empty()) {
+    NodeId N = Worklist.back();
+    Worklist.pop_back();
+    for (NodeId P : G.preds(N)) {
+      ++Updates;
+      if (Ann[P.index()].mergeFrom(Ann[N.index()], K))
+        Worklist.push_back(P);
+    }
+  }
+}
+
+const LimitedSet &KLimitedCFA::ofExpr(ExprId E) const {
+  assert(HasRun && "query before run()");
+  NodeId N = G.lookupExprNode(E);
+  return N.isValid() ? Ann[N.index()] : Empty;
+}
+
+const LimitedSet &KLimitedCFA::ofVar(VarId V) const {
+  assert(HasRun && "query before run()");
+  NodeId N = G.lookupVarNode(V);
+  return N.isValid() ? Ann[N.index()] : Empty;
+}
+
+const LimitedSet &KLimitedCFA::ofCallSite(ExprId App) const {
+  const auto *A = cast<AppExpr>(M.expr(App));
+  return ofExpr(A->fn());
+}
+
+//===----------------------------------------------------------------------===//
+// CalledOnceAnalysis
+//===----------------------------------------------------------------------===//
+
+CalledOnceAnalysis::CalledOnceAnalysis(const SubtransitiveGraph &G)
+    : G(G), M(G.module()), Result(M.numLabels(), CallCount::Never),
+      Site(M.numLabels(), ExprId::invalid()) {}
+
+void CalledOnceAnalysis::run() {
+  assert(!HasRun && "run() called twice");
+  HasRun = true;
+
+  // 1-limited call-site markers flowing with the edges.
+  std::vector<LimitedSet> Marks(G.numNodes());
+  std::vector<NodeId> Worklist;
+  forEachExprPreorder(M, M.root(), [&](ExprId Id, const Expr *E) {
+    const auto *A = dyn_cast<AppExpr>(E);
+    if (!A)
+      return;
+    NodeId Fn = G.lookupExprNode(A->fn());
+    if (!Fn.isValid())
+      return;
+    if (Marks[Fn.index()].insert(Id.index(), /*K=*/1) ||
+        Marks[Fn.index()].isMany())
+      Worklist.push_back(Fn);
+  });
+  while (!Worklist.empty()) {
+    NodeId N = Worklist.back();
+    Worklist.pop_back();
+    for (NodeId S : G.succs(N))
+      if (Marks[S.index()].mergeFrom(Marks[N.index()], /*K=*/1))
+        Worklist.push_back(S);
+  }
+
+  for (uint32_t L = 0, E = M.numLabels(); L != E; ++L) {
+    LimitedSet Total;
+    NodeId Lam = G.lookupExprNode(M.lamOfLabel(LabelId(L)));
+    if (Lam.isValid())
+      Total.mergeFrom(Marks[Lam.index()], 1);
+    // Polyvariant instantiations attach labels through closure-inert
+    // label nodes; their markers count too.
+    if (NodeId LN = G.lookupLabelNode(LabelId(L)); LN.isValid())
+      Total.mergeFrom(Marks[LN.index()], 1);
+    if (Total.isMany()) {
+      Result[L] = CallCount::Many;
+    } else if (Total.size() == 1) {
+      Result[L] = CallCount::Once;
+      Site[L] = ExprId(Total.ids()[0]);
+    }
+  }
+}
+
+std::vector<LabelId> CalledOnceAnalysis::calledOnce() const {
+  assert(HasRun && "query before run()");
+  std::vector<LabelId> Out;
+  for (uint32_t L = 0, E = M.numLabels(); L != E; ++L)
+    if (Result[L] == CallCount::Once)
+      Out.push_back(LabelId(L));
+  return Out;
+}

@@ -1,0 +1,84 @@
+//===-- ast/Expr.cpp - Expression AST helpers -----------------------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Expr.h"
+
+using namespace stcfa;
+
+void ExprDeleter::operator()(Expr *E) const {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprKind::Var:
+    delete static_cast<VarExpr *>(E);
+    return;
+  case ExprKind::Lam:
+    delete static_cast<LamExpr *>(E);
+    return;
+  case ExprKind::App:
+    delete static_cast<AppExpr *>(E);
+    return;
+  case ExprKind::Let:
+    delete static_cast<LetExpr *>(E);
+    return;
+  case ExprKind::LetRecN:
+    delete static_cast<LetRecNExpr *>(E);
+    return;
+  case ExprKind::Lit:
+    delete static_cast<LitExpr *>(E);
+    return;
+  case ExprKind::If:
+    delete static_cast<IfExpr *>(E);
+    return;
+  case ExprKind::Tuple:
+    delete static_cast<TupleExpr *>(E);
+    return;
+  case ExprKind::Proj:
+    delete static_cast<ProjExpr *>(E);
+    return;
+  case ExprKind::Con:
+    delete static_cast<ConExpr *>(E);
+    return;
+  case ExprKind::Case:
+    delete static_cast<CaseExpr *>(E);
+    return;
+  case ExprKind::Prim:
+    delete static_cast<PrimExpr *>(E);
+    return;
+  }
+  assert(false && "unknown expression kind");
+}
+
+const char *stcfa::primName(PrimOp Op) {
+  switch (Op) {
+  case PrimOp::Add:
+    return "+";
+  case PrimOp::Sub:
+    return "-";
+  case PrimOp::Mul:
+    return "*";
+  case PrimOp::Div:
+    return "/";
+  case PrimOp::Lt:
+    return "<";
+  case PrimOp::Le:
+    return "<=";
+  case PrimOp::Eq:
+    return "==";
+  case PrimOp::Not:
+    return "not";
+  case PrimOp::Print:
+    return "print";
+  case PrimOp::RefNew:
+    return "ref";
+  case PrimOp::RefGet:
+    return "!";
+  case PrimOp::RefSet:
+    return ":=";
+  }
+  assert(false && "unknown primitive");
+  return "?";
+}

@@ -1,0 +1,36 @@
+//===-- ast/Printer.h - Render AST back to surface syntax ------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints expressions back to parsable surface syntax.  Useful for
+/// debugging analyses, for golden tests of the parser, and for the
+/// generators' round-trip property tests (print → parse → same shape).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_AST_PRINTER_H
+#define STCFA_AST_PRINTER_H
+
+#include "ast/Module.h"
+
+#include <string>
+
+namespace stcfa {
+
+/// Renders \p E (by default the module root) as surface syntax.
+std::string printExpr(const Module &M, ExprId E);
+
+/// Renders the whole program: `data` declarations followed by the root
+/// expression.  The output is parsable by `Parser`.
+std::string printProgram(const Module &M);
+
+/// Renders a compact one-line description of an expression occurrence for
+/// diagnostics, e.g. `app@12(3:7)`.
+std::string describeExpr(const Module &M, ExprId E);
+
+} // namespace stcfa
+
+#endif // STCFA_AST_PRINTER_H

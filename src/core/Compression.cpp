@@ -1,0 +1,124 @@
+//===-- core/Compression.cpp - Chain-compressed query graph ---------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compression.h"
+
+using namespace stcfa;
+
+CompressedGraph::CompressedGraph(const SubtransitiveGraph &G)
+    : M(G.module()) {
+  uint32_t N = G.numNodes();
+  Rep.assign(N, NodeId::invalid());
+  LabelAt.assign(N, LabelId::invalid());
+
+  // A node is kept when it carries a label or does not have exactly one
+  // successor; label-free one-successor nodes forward to their successor's
+  // representative.  Chains are resolved iteratively with an explicit
+  // stack; a cycle of skippable nodes keeps its entry node.
+  auto outDegreeOne = [&](NodeId Node, NodeId &OnlySucc) {
+    auto Range = G.succs(Node);
+    auto It = Range.begin();
+    if (It == Range.end())
+      return false;
+    OnlySucc = *It;
+    ++It;
+    return It == Range.end();
+  };
+
+  std::vector<uint8_t> State(N, 0); // 0 = unvisited, 1 = in progress
+  std::vector<NodeId> Chain;
+  for (uint32_t I = 0; I != N; ++I) {
+    if (Rep[I].isValid())
+      continue;
+    Chain.clear();
+    NodeId Cur(I);
+    NodeId Target = NodeId::invalid();
+    while (true) {
+      if (Rep[Cur.index()].isValid()) {
+        Target = Rep[Cur.index()];
+        break;
+      }
+      if (State[Cur.index()] == 1) {
+        // Skippable cycle: keep the node where we re-entered.
+        Target = Cur;
+        break;
+      }
+      NodeId OnlySucc = NodeId::invalid();
+      bool Skippable = !G.labelOf(Cur).isValid() &&
+                       outDegreeOne(Cur, OnlySucc) && OnlySucc != Cur;
+      if (!Skippable) {
+        Target = Cur;
+        break;
+      }
+      State[Cur.index()] = 1;
+      Chain.push_back(Cur);
+      Cur = OnlySucc;
+    }
+    Rep[Target.index()] = Target;
+    for (NodeId C : Chain)
+      Rep[C.index()] = Target;
+  }
+
+  // Condensed adjacency over kept nodes, deduplicated per source.
+  Succs.resize(N);
+  std::vector<uint32_t> SeenStamp(N, 0);
+  uint32_t Stamp2 = 0;
+  for (uint32_t I = 0; I != N; ++I) {
+    if (Rep[I] != NodeId(I))
+      continue;
+    ++NumKept;
+    LabelAt[I] = G.labelOf(NodeId(I));
+    ++Stamp2;
+    for (NodeId S : G.succs(NodeId(I))) {
+      NodeId RS = Rep[S.index()];
+      if (RS == NodeId(I) || SeenStamp[RS.index()] == Stamp2)
+        continue;
+      SeenStamp[RS.index()] = Stamp2;
+      Succs[I].push_back(RS);
+    }
+  }
+
+  ExprRep.assign(M.numExprs(), NodeId::invalid());
+  for (uint32_t I = 0; I != M.numExprs(); ++I)
+    if (NodeId E = G.lookupExprNode(ExprId(I)); E.isValid())
+      ExprRep[I] = Rep[E.index()];
+  VarRep.assign(M.numVars(), NodeId::invalid());
+  for (uint32_t I = 0; I != M.numVars(); ++I)
+    if (NodeId V = G.lookupVarNode(VarId(I)); V.isValid())
+      VarRep[I] = Rep[V.index()];
+  Stamp.assign(N, 0);
+}
+
+DenseBitset CompressedGraph::labelsFrom(NodeId Kept) {
+  DenseBitset Out(M.numLabels());
+  if (!Kept.isValid())
+    return Out;
+  ++Epoch;
+  std::vector<NodeId> Stack{Kept};
+  Stamp[Kept.index()] = Epoch;
+  while (!Stack.empty()) {
+    NodeId Node = Stack.back();
+    Stack.pop_back();
+    ++Visited;
+    if (LabelId L = LabelAt[Node.index()]; L.isValid())
+      Out.insert(L.index());
+    for (NodeId S : Succs[Node.index()]) {
+      if (Stamp[S.index()] == Epoch)
+        continue;
+      Stamp[S.index()] = Epoch;
+      Stack.push_back(S);
+    }
+  }
+  return Out;
+}
+
+DenseBitset CompressedGraph::labelsOf(ExprId E) {
+  return labelsFrom(ExprRep[E.index()]);
+}
+
+DenseBitset CompressedGraph::labelsOfVar(VarId V) {
+  return labelsFrom(VarRep[V.index()]);
+}

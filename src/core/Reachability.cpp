@@ -1,0 +1,218 @@
+//===-- core/Reachability.cpp - Graph-reachability CFA queries ------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Reachability.h"
+
+#include <algorithm>
+
+using namespace stcfa;
+
+Reachability::Reachability(const SubtransitiveGraph &G)
+    : G(G), M(G.module()), Stamp(G.numNodes(), 0) {}
+
+template <typename FnT>
+void Reachability::forEachReachable(NodeId Start, FnT Fn) {
+  ++Epoch;
+  Stack.clear();
+  Stack.push_back(Start);
+  Stamp[Start.index()] = Epoch;
+  while (!Stack.empty()) {
+    NodeId N = Stack.back();
+    Stack.pop_back();
+    ++Visited;
+    if (!Fn(N))
+      return;
+    for (NodeId S : G.succs(N)) {
+      if (Stamp[S.index()] == Epoch)
+        continue;
+      Stamp[S.index()] = Epoch;
+      Stack.push_back(S);
+    }
+  }
+}
+
+bool Reachability::isLabelIn(ExprId E, LabelId L) {
+  NodeId Start = G.lookupExprNode(E);
+  if (!Start.isValid())
+    return false;
+  bool Found = false;
+  forEachReachable(Start, [&](NodeId N) {
+    if (G.labelOf(N) == L) {
+      Found = true;
+      return false; // stop the search
+    }
+    return true;
+  });
+  return Found;
+}
+
+DenseBitset Reachability::labelsOfNode(NodeId N) {
+  DenseBitset Out(M.numLabels());
+  forEachReachable(N, [&](NodeId R) {
+    if (LabelId L = G.labelOf(R); L.isValid())
+      Out.insert(L.index());
+    return true;
+  });
+  return Out;
+}
+
+DenseBitset Reachability::labelsOf(ExprId E) {
+  NodeId Start = G.lookupExprNode(E);
+  if (!Start.isValid())
+    return DenseBitset(M.numLabels());
+  return labelsOfNode(Start);
+}
+
+DenseBitset Reachability::labelsOfVar(VarId V) {
+  NodeId Start = G.lookupVarNode(V);
+  if (!Start.isValid())
+    return DenseBitset(M.numLabels());
+  return labelsOfNode(Start);
+}
+
+std::vector<ExprId> Reachability::occurrencesOf(LabelId L) {
+  std::vector<ExprId> Out;
+  // Polyvariant instantiations carry labels on separate `Label` nodes, so
+  // the reverse search starts from both.
+  ++Epoch;
+  Stack.clear();
+  for (NodeId Root : {G.lookupExprNode(M.lamOfLabel(L)),
+                      G.lookupLabelNode(L)}) {
+    if (!Root.isValid())
+      continue;
+    Stack.push_back(Root);
+    Stamp[Root.index()] = Epoch;
+  }
+  if (Stack.empty())
+    return Out;
+  while (!Stack.empty()) {
+    NodeId N = Stack.back();
+    Stack.pop_back();
+    ++Visited;
+    for (NodeId P : G.preds(N)) {
+      if (Stamp[P.index()] == Epoch)
+        continue;
+      Stamp[P.index()] = Epoch;
+      Stack.push_back(P);
+    }
+  }
+
+  // A congruence summary node may stand for many occurrences, so map
+  // expressions to their canonical nodes rather than the reverse.
+  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+    NodeId N = G.lookupExprNode(ExprId(I));
+    if (N.isValid() && Stamp[N.index()] == Epoch)
+      Out.push_back(ExprId(I));
+  }
+  return Out;
+}
+
+std::vector<DenseBitset> Reachability::allLabelSets(bool UseScc) {
+  std::vector<DenseBitset> Out(M.numExprs(), DenseBitset(M.numLabels()));
+
+  if (!UseScc) {
+    // Repeated Algorithm 2, memoized per canonical node (congruence
+    // summaries stand for many occurrences).
+    std::vector<DenseBitset> PerNode(G.numNodes());
+    std::vector<bool> Done(G.numNodes(), false);
+    for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+      NodeId N = G.lookupExprNode(ExprId(I));
+      if (!N.isValid())
+        continue;
+      if (!Done[N.index()]) {
+        PerNode[N.index()] = labelsOfNode(N);
+        Done[N.index()] = true;
+      }
+      Out[I] = PerNode[N.index()];
+    }
+    return Out;
+  }
+
+  // SCC condensation (iterative Tarjan), then one bottom-up union pass
+  // over the DAG in reverse topological order.
+  uint32_t NumNodes = G.numNodes();
+  std::vector<uint32_t> Index(NumNodes, 0), Low(NumNodes, 0),
+      SccOf(NumNodes, ~0u);
+  std::vector<bool> OnStack(NumNodes, false);
+  std::vector<uint32_t> TarjanStack;
+  uint32_t NextIndex = 1, NumSccs = 0;
+
+  using EdgeIter = SubtransitiveGraph::EdgeRange::iterator;
+  struct Frame {
+    uint32_t Node;
+    EdgeIter Next;
+    EdgeIter End;
+  };
+  std::vector<Frame> Frames;
+  for (uint32_t Root = 0; Root != NumNodes; ++Root) {
+    if (Index[Root] != 0)
+      continue;
+    auto RootRange = G.succs(NodeId(Root));
+    Frames.push_back({Root, RootRange.begin(), RootRange.end()});
+    Index[Root] = Low[Root] = NextIndex++;
+    TarjanStack.push_back(Root);
+    OnStack[Root] = true;
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      if (F.Next != F.End) {
+        uint32_t S = (*F.Next).index();
+        ++F.Next;
+        if (Index[S] == 0) {
+          Index[S] = Low[S] = NextIndex++;
+          TarjanStack.push_back(S);
+          OnStack[S] = true;
+          auto SRange = G.succs(NodeId(S));
+          Frames.push_back({S, SRange.begin(), SRange.end()});
+        } else if (OnStack[S]) {
+          Low[F.Node] = std::min(Low[F.Node], Index[S]);
+        }
+        continue;
+      }
+      ++Visited;
+      uint32_t N = F.Node;
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().Node] = std::min(Low[Frames.back().Node], Low[N]);
+      if (Low[N] != Index[N])
+        continue;
+      // N is an SCC root: pop its component.
+      uint32_t Scc = NumSccs++;
+      while (true) {
+        uint32_t W = TarjanStack.back();
+        TarjanStack.pop_back();
+        OnStack[W] = false;
+        SccOf[W] = Scc;
+        if (W == N)
+          break;
+      }
+    }
+  }
+
+  // Tarjan assigns SCC ids in completion order, and every SCC reachable
+  // from component C completes before C does, so ascending id order sees
+  // all successors of a component finalized before the component itself.
+  std::vector<std::vector<uint32_t>> NodesOfScc(NumSccs);
+  for (uint32_t N = 0; N != NumNodes; ++N)
+    NodesOfScc[SccOf[N]].push_back(N);
+  std::vector<DenseBitset> SccLabels(NumSccs, DenseBitset(M.numLabels()));
+  for (uint32_t Scc = 0; Scc != NumSccs; ++Scc) {
+    DenseBitset &Set = SccLabels[Scc];
+    for (uint32_t N : NodesOfScc[Scc]) {
+      if (LabelId L = G.labelOf(NodeId(N)); L.isValid())
+        Set.insert(L.index());
+      for (NodeId S : G.succs(NodeId(N)))
+        if (SccOf[S.index()] != Scc)
+          Set.unionWith(SccLabels[SccOf[S.index()]]);
+    }
+  }
+
+  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+    NodeId N = G.lookupExprNode(ExprId(I));
+    if (N.isValid())
+      Out[I] = SccLabels[SccOf[N.index()]];
+  }
+  return Out;
+}

@@ -1,0 +1,438 @@
+//===-- driver/Main.cpp - The stcfa command-line tool ---------------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `stcfa`: parse a mini-ML program, run an analysis, answer queries.
+///
+/// \code
+///   stcfa program.stml --query=all-labels
+///   stcfa --corpus=cubic:8 --analysis=standard --stats
+///   echo 'let id = fn x => x in id id' | stcfa - --query=labels
+///   stcfa program.stml --run
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DeadCodeAwareCFA.h"
+#include "analysis/HybridCFA.h"
+#include "analysis/StandardCFA.h"
+#include "apps/CallGraph.h"
+#include "apps/EffectsAnalysis.h"
+#include "apps/KLimitedCFA.h"
+#include "ast/Printer.h"
+#include "core/Reachability.h"
+#include "gen/Corpus.h"
+#include "gen/Generators.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "poly/Polyvariant.h"
+#include "sema/Infer.h"
+#include "support/Timer.h"
+#include "unify/UnificationCFA.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream> // the one tool entry point reads stdin
+#include <iterator>
+#include <sstream>
+#include <string>
+
+using namespace stcfa;
+
+namespace {
+
+struct Options {
+  std::string InputFile;
+  std::string Corpus;
+  std::string Analysis = "subtransitive";
+  std::string Query = "labels";
+  std::string Congruence = "bytype";
+  std::string Policy = "paper";
+  bool Stats = false;
+  bool Run = false;
+  bool Print = false;
+  bool DumpGraph = false;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [<file>|-] [options]\n"
+      "  --corpus=<name>        life | lexgen[:states] | cubic:N |\n"
+      "                         joinpoint:N | random:SEED\n"
+      "  --analysis=<name>      subtransitive (default) | standard |\n"
+      "                         unify | poly | hybrid\n"
+      "  --query=<q>            labels (root label set, default) |\n"
+      "                         all-labels | effects | called-once |\n"
+      "                         klimited:K | callgraph | dead-code\n"
+      "  --congruence=<c>       none | bytype (default) | bybase\n"
+      "  --policy=<p>           paper (default) | nodeexists | undemanded\n"
+      "  --stats                print program/type/graph statistics\n"
+      "  --print                pretty-print the parsed program\n"
+      "  --dump-graph           print every subtransitive edge\n"
+      "  --run                  interpret the program\n",
+      Argv0);
+  return 2;
+}
+
+bool startsWith(const std::string &S, const char *Prefix) {
+  return S.rfind(Prefix, 0) == 0;
+}
+
+std::string loadInput(const Options &Opts, bool &Ok) {
+  Ok = true;
+  if (!Opts.Corpus.empty()) {
+    if (Opts.Corpus == "life")
+      return lifeProgram();
+    if (Opts.Corpus == "lexgen")
+      return makeLexgenLike();
+    if (startsWith(Opts.Corpus, "lexgen:"))
+      return makeLexgenLike(std::stoi(Opts.Corpus.substr(7)));
+    if (startsWith(Opts.Corpus, "cubic:"))
+      return makeCubicFamily(std::stoi(Opts.Corpus.substr(6)));
+    if (startsWith(Opts.Corpus, "joinpoint:"))
+      return makeJoinPointFamily(std::stoi(Opts.Corpus.substr(10)));
+    if (startsWith(Opts.Corpus, "random:")) {
+      RandomProgramOptions R;
+      R.Seed = std::stoull(Opts.Corpus.substr(7));
+      R.UseRefs = true;
+      R.UseEffects = true;
+      return makeRandomProgram(R);
+    }
+    std::fprintf(stderr, "error: unknown corpus '%s'\n", Opts.Corpus.c_str());
+    Ok = false;
+    return "";
+  }
+  if (Opts.InputFile.empty() || Opts.InputFile == "-") {
+    std::ostringstream Buf;
+    Buf << std::cin.rdbuf();
+    return Buf.str();
+  }
+  std::ifstream In(Opts.InputFile);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Opts.InputFile.c_str());
+    Ok = false;
+    return "";
+  }
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string labelName(const Module &M, LabelId L) {
+  const auto *Lam = cast<LamExpr>(M.expr(M.lamOfLabel(L)));
+  std::string Out = "fn#" + std::to_string(L.index()) + "(";
+  Out += M.text(M.var(Lam->param()).Name);
+  SourceLoc Loc = M.expr(M.lamOfLabel(L))->loc();
+  if (Loc.isValid())
+    Out += "@" + std::to_string(Loc.Line) + ":" + std::to_string(Loc.Col);
+  return Out + ")";
+}
+
+std::string renderSet(const Module &M, const DenseBitset &Set) {
+  std::string Out = "{";
+  bool First = true;
+  Set.forEach([&](uint32_t L) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += labelName(M, LabelId(L));
+  });
+  return Out + "}";
+}
+
+/// Uniform label-set access across the analyses.
+struct AnalysisResult {
+  std::unique_ptr<StandardCFA> Std;
+  std::unique_ptr<UnificationCFA> Uni;
+  std::unique_ptr<SubtransitiveGraph> Graph;
+  std::unique_ptr<PolyvariantCFA> Poly;
+  std::unique_ptr<HybridCFA> Hybrid;
+  std::unique_ptr<Reachability> Reach;
+  double AnalysisMs = 0;
+
+  DenseBitset labels(ExprId E) {
+    if (Std)
+      return Std->labelSet(E);
+    if (Uni)
+      return Uni->labelSet(E);
+    if (Hybrid)
+      return Hybrid->labelSet(E);
+    return Reach->labelsOf(E);
+  }
+  const SubtransitiveGraph *graph() const {
+    if (Graph)
+      return Graph.get();
+    if (Poly)
+      return &Poly->graph();
+    if (Hybrid)
+      return Hybrid->graph();
+    return nullptr;
+  }
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (startsWith(A, "--corpus="))
+      Opts.Corpus = A.substr(9);
+    else if (startsWith(A, "--analysis="))
+      Opts.Analysis = A.substr(11);
+    else if (startsWith(A, "--query="))
+      Opts.Query = A.substr(8);
+    else if (startsWith(A, "--congruence="))
+      Opts.Congruence = A.substr(13);
+    else if (startsWith(A, "--policy="))
+      Opts.Policy = A.substr(9);
+    else if (A == "--stats")
+      Opts.Stats = true;
+    else if (A == "--run")
+      Opts.Run = true;
+    else if (A == "--print")
+      Opts.Print = true;
+    else if (A == "--dump-graph")
+      Opts.DumpGraph = true;
+    else if (A == "--help" || A == "-h")
+      return usage(Argv[0]);
+    else if (!startsWith(A, "--") && Opts.InputFile.empty())
+      Opts.InputFile = A;
+    else
+      return usage(Argv[0]);
+  }
+
+  bool Ok = true;
+  std::string Source = loadInput(Opts, Ok);
+  if (!Ok)
+    return 1;
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = parseProgram(Source, Diags);
+  if (!M) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 1;
+  }
+
+  DiagnosticEngine InferDiags;
+  bool Typed = inferTypes(*M, InferDiags);
+  if (!Typed)
+    std::fprintf(stderr, "note: type inference failed (%s); "
+                         "continuing untyped — termination is not "
+                         "guaranteed by the paper, widening applies\n",
+                 InferDiags.diagnostics().empty()
+                     ? "?"
+                     : InferDiags.diagnostics().front().Message.c_str());
+
+  if (Opts.Print)
+    std::printf("%s", printProgram(*M).c_str());
+
+  if (Opts.Stats) {
+    std::printf("program: %u exprs, %u binders, %u abstractions, %u "
+                "constructors\n",
+                M->numExprs(), M->numVars(), M->numLabels(), M->numCons());
+    if (Typed) {
+      TypeMetrics TM = computeTypeMetrics(*M);
+      std::printf("types: max size %u, avg size %.2f (k_avg), max order "
+                  "%u, max arity %u\n",
+                  TM.MaxTypeSize, TM.AvgTypeSize, TM.MaxOrder, TM.MaxArity);
+    }
+  }
+
+  SubtransitiveConfig GC;
+  if (Opts.Congruence == "none")
+    GC.Congruence = CongruenceMode::None;
+  else if (Opts.Congruence == "bytype")
+    GC.Congruence = CongruenceMode::ByType;
+  else if (Opts.Congruence == "bybase")
+    GC.Congruence = CongruenceMode::ByBaseAndType;
+  else
+    return usage(Argv[0]);
+  if (Opts.Policy == "paper")
+    GC.Policy = ClosurePolicy::PaperExact;
+  else if (Opts.Policy == "nodeexists")
+    GC.Policy = ClosurePolicy::NodeExists;
+  else if (Opts.Policy == "undemanded")
+    GC.Policy = ClosurePolicy::Undemanded;
+  else
+    return usage(Argv[0]);
+
+  AnalysisResult R;
+  Timer T;
+  if (Opts.Analysis == "standard") {
+    R.Std = std::make_unique<StandardCFA>(*M);
+    R.Std->run();
+  } else if (Opts.Analysis == "unify") {
+    R.Uni = std::make_unique<UnificationCFA>(*M);
+    R.Uni->run();
+  } else if (Opts.Analysis == "poly") {
+    R.Poly = std::make_unique<PolyvariantCFA>(*M, GC);
+    R.Poly->run();
+    R.Reach = std::make_unique<Reachability>(R.Poly->graph());
+  } else if (Opts.Analysis == "hybrid") {
+    R.Hybrid = std::make_unique<HybridCFA>(*M);
+    R.Hybrid->run();
+    if (Opts.Stats)
+      std::printf("hybrid engine: %s\n",
+                  R.Hybrid->engine() == HybridCFA::Engine::Subtransitive
+                      ? "subtransitive"
+                      : "standard (fallback)");
+  } else if (Opts.Analysis == "subtransitive") {
+    R.Graph = std::make_unique<SubtransitiveGraph>(*M, GC);
+    R.Graph->build();
+    R.Graph->close();
+    R.Reach = std::make_unique<Reachability>(*R.Graph);
+  } else {
+    return usage(Argv[0]);
+  }
+  R.AnalysisMs = T.millis();
+
+  if (Opts.Stats) {
+    std::printf("analysis: %s in %.3f ms\n", Opts.Analysis.c_str(),
+                R.AnalysisMs);
+    if (const SubtransitiveGraph *G = R.graph()) {
+      const GraphStats &S = G->stats();
+      std::printf("graph: build %llu nodes / %llu edges, close +%llu nodes "
+                  "/ +%llu edges, %llu rule firings, %llu widenings\n",
+                  (unsigned long long)S.BuildNodes,
+                  (unsigned long long)S.BuildEdges,
+                  (unsigned long long)S.CloseNodes,
+                  (unsigned long long)S.CloseEdges,
+                  (unsigned long long)S.CloseRuleFirings,
+                  (unsigned long long)S.Widenings);
+    }
+    if (R.Std)
+      std::printf("standard: %llu propagations, %llu insertions, %llu "
+                  "edges\n",
+                  (unsigned long long)R.Std->stats().Propagations,
+                  (unsigned long long)R.Std->stats().SetInsertions,
+                  (unsigned long long)R.Std->stats().Edges);
+    if (R.Uni)
+      std::printf("unify: %llu unions, %u classes\n",
+                  (unsigned long long)R.Uni->unions(), R.Uni->numClasses());
+  }
+
+  if (Opts.DumpGraph) {
+    if (const SubtransitiveGraph *G = R.graph()) {
+      for (uint32_t N = 0; N != G->numNodes(); ++N)
+        for (NodeId S : G->succs(NodeId(N)))
+          std::printf("%s -> %s\n", G->describe(NodeId(N)).c_str(),
+                      G->describe(S).c_str());
+    } else {
+      std::fprintf(stderr, "error: --dump-graph requires a graph analysis\n");
+      return 1;
+    }
+  }
+
+  if (Opts.Query == "labels") {
+    std::printf("L(root) = %s\n", renderSet(*M, R.labels(M->root())).c_str());
+  } else if (Opts.Query == "all-labels") {
+    for (uint32_t I = 0; I != M->numExprs(); ++I) {
+      DenseBitset Set = R.labels(ExprId(I));
+      if (Set.empty())
+        continue;
+      std::printf("%-18s %s\n", describeExpr(*M, ExprId(I)).c_str(),
+                  renderSet(*M, Set).c_str());
+    }
+  } else if (Opts.Query == "effects") {
+    const SubtransitiveGraph *G = R.graph();
+    if (!G) {
+      std::fprintf(stderr, "error: effects needs a graph analysis\n");
+      return 1;
+    }
+    EffectsAnalysis Eff(*G);
+    Eff.run();
+    std::printf("%u side-effecting occurrences\n", Eff.numEffectful());
+    for (uint32_t I = 0; I != M->numExprs(); ++I)
+      if (Eff.isEffectful(ExprId(I)))
+        std::printf("  %s\n", describeExpr(*M, ExprId(I)).c_str());
+  } else if (Opts.Query == "called-once") {
+    const SubtransitiveGraph *G = R.graph();
+    if (!G) {
+      std::fprintf(stderr, "error: called-once needs a graph analysis\n");
+      return 1;
+    }
+    CalledOnceAnalysis CO(*G);
+    CO.run();
+    for (LabelId L : CO.calledOnce())
+      std::printf("called once: %s at %s\n", labelName(*M, L).c_str(),
+                  describeExpr(*M, CO.uniqueCallSite(L)).c_str());
+  } else if (Opts.Query == "callgraph") {
+    const SubtransitiveGraph *G = R.graph();
+    if (!G) {
+      std::fprintf(stderr, "error: callgraph needs a graph analysis\n");
+      return 1;
+    }
+    CallGraph CG(*G);
+    CG.run();
+    for (uint32_t Caller = 0; Caller != CG.numCallers(); ++Caller) {
+      if (CG.calleesOf(Caller).empty())
+        continue;
+      std::string Name = Caller == CG.rootIndex()
+                             ? "<top-level>"
+                             : labelName(*M, LabelId(Caller));
+      std::printf("%s calls:", Name.c_str());
+      CG.calleesOf(Caller).forEach([&](uint32_t L) {
+        std::printf(" %s", labelName(*M, LabelId(L)).c_str());
+      });
+      std::printf("\n");
+    }
+    for (LabelId Dead : CG.deadFunctions())
+      std::printf("dead: %s\n", labelName(*M, Dead).c_str());
+  } else if (Opts.Query == "dead-code") {
+    DeadCodeAwareCFA Dc(*M);
+    Dc.run();
+    uint32_t DeadExprs = 0;
+    for (uint32_t I = 0; I != M->numExprs(); ++I)
+      DeadExprs += !Dc.isLive(ExprId(I));
+    std::printf("%u of %u occurrences are dead code\n", DeadExprs,
+                M->numExprs());
+    for (LabelId Dead : Dc.deadFunctions())
+      std::printf("never called: %s\n", labelName(*M, Dead).c_str());
+  } else if (startsWith(Opts.Query, "klimited:")) {
+    const SubtransitiveGraph *G = R.graph();
+    if (!G) {
+      std::fprintf(stderr, "error: klimited needs a graph analysis\n");
+      return 1;
+    }
+    uint32_t K = std::stoul(Opts.Query.substr(9));
+    KLimitedCFA KL(*G, K);
+    KL.run();
+    for (uint32_t I = 0; I != M->numExprs(); ++I) {
+      const auto *A = dyn_cast<AppExpr>(M->expr(ExprId(I)));
+      if (!A)
+        continue;
+      const LimitedSet &S = KL.ofCallSite(ExprId(I));
+      std::string Callees;
+      if (S.isMany()) {
+        Callees = "many";
+      } else {
+        for (uint32_t L : S.ids())
+          Callees += (Callees.empty() ? "" : ", ") +
+                     labelName(*M, LabelId(L));
+        if (Callees.empty())
+          Callees = "none";
+      }
+      std::printf("%-18s calls: %s\n", describeExpr(*M, ExprId(I)).c_str(),
+                  Callees.c_str());
+    }
+  } else {
+    return usage(Argv[0]);
+  }
+
+  if (Opts.Run) {
+    InterpreterResult Run = interpret(*M, 50000000);
+    for (const std::string &Line : Run.Output)
+      std::printf("output: %s\n", Line.c_str());
+    if (Run.Completed)
+      std::printf("result: %s (in %llu steps)\n", Run.FinalValue.c_str(),
+                  (unsigned long long)Run.Steps);
+    else
+      std::printf("aborted: %s\n", Run.Abort.c_str());
+  }
+
+  return 0;
+}

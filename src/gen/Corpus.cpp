@@ -1,0 +1,391 @@
+//===-- gen/Corpus.cpp - Realistic benchmark programs ---------------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Corpus.h"
+
+#include <cassert>
+
+using namespace stcfa;
+
+std::string stcfa::lifeProgram() {
+  // Conway's Game of Life over a list of live cells.  The higher-order
+  // list library (filter/map/fold/exists) creates exactly the join-point
+  // flows the paper's Section 2 discusses.
+  return R"PROG(
+-- life: Conway's Game of Life on a sparse list of live cells.
+data CellList = CNil | CCons((Int, Int), CellList);
+data BoolFns = BNil | BCons((Int, Int) -> Bool, BoolFns);
+
+letrec length = fn cs =>
+  case cs of CNil => 0 | CCons(c, r) => 1 + length r end;
+
+letrec append = fn xs => fn ys =>
+  case xs of CNil => ys | CCons(c, r) => CCons(c, append r ys) end;
+
+let sameCell = fn a => fn b =>
+  if #1 a == #1 b then #2 a == #2 b else false;
+
+letrec member = fn cs => fn p =>
+  case cs of
+    CNil => false
+  | CCons(c, r) => if sameCell c p then true else member r p
+  end;
+
+letrec filter = fn pred => fn cs =>
+  case cs of
+    CNil => CNil
+  | CCons(c, r) =>
+      if pred c then CCons(c, filter pred r) else filter pred r
+  end;
+
+letrec mapCells = fn f => fn cs =>
+  case cs of CNil => CNil | CCons(c, r) => CCons(f c, mapCells f r) end;
+
+letrec fold = fn f => fn acc => fn cs =>
+  case cs of CNil => acc | CCons(c, r) => fold f (f acc c) r end;
+
+letrec exists = fn pred => fn cs =>
+  case cs of
+    CNil => false
+  | CCons(c, r) => if pred c then true else exists pred r
+  end;
+
+letrec dedup = fn cs =>
+  case cs of
+    CNil => CNil
+  | CCons(c, r) => if member r c then dedup r else CCons(c, dedup r)
+  end;
+
+letrec concatMap = fn f => fn cs =>
+  case cs of
+    CNil => CNil
+  | CCons(c, r) => append (f c) (concatMap f r)
+  end;
+
+-- The eight neighbours of a cell.
+let neighbours = fn c =>
+  let x = #1 c in
+  let y = #2 c in
+  CCons((x - 1, y - 1), CCons((x - 1, y), CCons((x - 1, y + 1),
+  CCons((x, y - 1), CCons((x, y + 1),
+  CCons((x + 1, y - 1), CCons((x + 1, y), CCons((x + 1, y + 1),
+  CNil))))))));
+
+let liveNeighbours = fn board => fn c =>
+  length (filter (fn n => member board n) (neighbours c));
+
+let survives = fn board => fn c =>
+  let n = liveNeighbours board c in
+  if n == 2 then true else n == 3;
+
+let isBorn = fn board => fn c =>
+  if member board c then false else liveNeighbours board c == 3;
+
+-- A small pipeline of predicates dispatched through a function list, so
+-- that predicate flow has several call sites (a deliberate join point).
+let anyPred = fn preds => fn c =>
+  letrec go = fn ps =>
+    case ps of
+      BNil => false
+    | BCons(p, rest) => if p c then true else go rest
+    end
+  in go preds;
+
+let nextGeneration = fn board =>
+  let keep = filter (survives board) board in
+  let candidates = dedup (concatMap neighbours board) in
+  let births = filter (isBorn board) candidates in
+  append keep births;
+
+letrec iterate = fn n => fn f => fn x =>
+  if n == 0 then x else iterate (n - 1) f (f x);
+
+-- Board statistics used by the reporting pipeline.
+let maxInt = fn a => fn b => if a < b then b else a;
+let minInt = fn a => fn b => if a < b then a else b;
+
+let boundingBox = fn board =>
+  let xs = fn pick => fn combine => fn start =>
+    fold (fn acc => fn c => combine acc (pick c)) start board in
+  let maxX = xs (fn c => #1 c) maxInt (0 - 1000) in
+  let minX = xs (fn c => #1 c) minInt 1000 in
+  let maxY = xs (fn c => #2 c) maxInt (0 - 1000) in
+  let minY = xs (fn c => #2 c) minInt 1000 in
+  ((minX, minY), (maxX, maxY));
+
+let boxArea = fn box =>
+  let w = #1 (#2 box) - #1 (#1 box) + 1 in
+  let h = #2 (#2 box) - #2 (#1 box) + 1 in
+  w * h;
+
+let density = fn board =>
+  let area = boxArea (boundingBox board) in
+  if area == 0 then 0 else (length board * 100) / area;
+
+-- The classic glider.
+let glider =
+  CCons((1, 2), CCons((2, 3), CCons((3, 1), CCons((3, 2),
+  CCons((3, 3), CNil)))));
+
+let finalBoard = iterate 4 nextGeneration glider;
+
+-- Reporting: walk the final board, printing each cell.
+letrec show = fn cs =>
+  case cs of
+    CNil => print "done"
+  | CCons(c, r) => #2 (print "cell", show r)
+  end;
+
+let checkers = BCons(fn c => #1 c == #2 c,
+               BCons(fn c => member glider c, BNil));
+let interesting = filter (anyPred checkers) finalBoard;
+
+#2 (show interesting, length finalBoard + density finalBoard)
+)PROG";
+}
+
+std::string stcfa::miniEvalProgram() {
+  // A small interpreter written in the analysed language.  Environments
+  // are represented as functions Int -> Int, so `lookup` and `extend`
+  // thread every binding through higher-order joins.
+  return R"PROG(
+-- minieval: an arithmetic-expression interpreter with function
+-- environments.
+data AExpr = Num(Int)
+          | Var(Int)
+          | Add(AExpr, AExpr)
+          | Mul(AExpr, AExpr)
+          | Neg(AExpr)
+          | Let(Int, AExpr, AExpr);
+
+-- The empty environment maps every variable to 0.
+let emptyEnv = fn v => 0;
+
+-- extend env x n: a new environment, as a closure over the old one.
+let extend = fn env => fn x => fn n =>
+  fn v => if v == x then n else env v;
+
+letrec eval = fn env => fn e =>
+  case e of
+    Num(n) => n
+  | Var(v) => env v
+  | Add(a, b) => eval env a + eval env b
+  | Mul(a, b) => eval env a * eval env b
+  | Neg(a) => 0 - eval env a
+  | Let(x, rhs, body) => eval (extend env x (eval env rhs)) body
+  end;
+
+-- A tiny constant folder: rebuilds the expression, folding Add/Mul of
+-- literals.  Exercises constructor flow in both directions.
+letrec fold = fn e =>
+  case e of
+    Num(n) => Num(n)
+  | Var(v) => Var(v)
+  | Add(a, b) =>
+      (let fa = fold a in
+       let fb = fold b in
+       case fa of
+         Num(x) => (case fb of Num(y) => Num(x + y)
+                    | Var(v) => Add(fa, fb)
+                    | Add(p, q) => Add(fa, fb)
+                    | Mul(p, q) => Add(fa, fb)
+                    | Neg(p) => Add(fa, fb)
+                    | Let(v, p, q) => Add(fa, fb) end)
+       | Var(v) => Add(fa, fb)
+       | Add(p, q) => Add(fa, fb)
+       | Mul(p, q) => Add(fa, fb)
+       | Neg(p) => Add(fa, fb)
+       | Let(v, p, q) => Add(fa, fb)
+       end)
+  | Mul(a, b) => Mul(fold a, fold b)
+  | Neg(a) => Neg(fold a)
+  | Let(x, rhs, body) => Let(x, fold rhs, fold body)
+  end;
+
+-- (1 + 2) * (let x0 = 5 in x0 + -3)
+let program =
+  Mul(Add(Num(1), Num(2)),
+      Let(0, Num(5), Add(Var(0), Neg(Num(3)))));
+
+let folded = fold program;
+eval emptyEnv folded + eval emptyEnv program
+)PROG";
+}
+
+std::string stcfa::parserComboProgram() {
+  // Parsers are functions CharList -> Result; combinators compose them.
+  return R"PROG(
+-- parsecombo: a combinator-based recogniser.
+data CharList = CNil | CCons(Int, CharList);
+data Result = Fail | Ok(CharList);
+
+-- Primitive parsers -------------------------------------------------------
+let empty = fn input => Ok(input);
+
+let charIs = fn c =>
+  fn input =>
+    case input of
+      CNil => Fail
+    | CCons(h, rest) => if h == c then Ok(rest) else Fail
+    end;
+
+let digit = fn input =>
+  case input of
+    CNil => Fail
+  | CCons(h, rest) => if 0 <= h then (if h <= 9 then Ok(rest) else Fail)
+                      else Fail
+  end;
+
+-- Combinators: each takes and returns parsers ------------------------------
+let seq = fn p => fn q =>
+  fn input =>
+    case p input of
+      Fail => Fail
+    | Ok(rest) => q rest
+    end;
+
+let alt = fn p => fn q =>
+  fn input =>
+    case p input of
+      Fail => q input
+    | Ok(rest) => Ok(rest)
+    end;
+
+-- Bounded repetition (structural recursion keeps it total).
+letrec manyUpTo = fn n => fn p =>
+  fn input =>
+    if n == 0 then Ok(input)
+    else case p input of
+           Fail => Ok(input)
+         | Ok(rest) => (manyUpTo (n - 1) p) rest
+         end;
+
+let opt = fn p => alt p empty;
+
+-- The grammar:  number := digit digit*      (up to 8 digits)
+--               term   := number ('*' number)?
+--               expr   := term ('+' term)?
+let number = seq digit (manyUpTo 8 digit);
+let star = charIs 42;
+let plus = charIs 43;
+let term = seq number (opt (seq star number));
+let expr = seq term (opt (seq plus term));
+
+letrec fromList = fn l =>
+  case l of CNil => CNil | CCons(h, t) => CCons(h, fromList t) end;
+
+-- "1*2+3" with '*' = 42, '+' = 43.
+let input = CCons(1, CCons(42, CCons(2, CCons(43, CCons(3, CNil)))));
+
+let accepted = fn r => case r of Fail => 0 | Ok(rest) =>
+  (case rest of CNil => 1 | CCons(h, t) => 0 end) end;
+
+accepted (expr (fromList input)) + accepted (expr CNil)
+)PROG";
+}
+
+std::string stcfa::makeLexgenLike(int States) {
+  assert(States >= 2 && "need at least two states");
+  std::string Out;
+  Out += "-- lexgen: a generated table-driven lexer (" +
+         std::to_string(States) + " states).\n";
+  Out += "data CharList = ChNil | ChCons(Int, CharList);\n";
+  Out += "data TokList = TkNil | TkCons(Int, TokList);\n";
+  Out += "data ActList = ANil | ACons(Int -> Int, ActList);\n";
+  Out += "\n";
+  Out += "letrec tokCount = fn ts =>\n"
+         "  case ts of TkNil => 0 | TkCons(t, r) => 1 + tokCount r end;\n";
+  Out += "letrec chAppend = fn xs => fn ys =>\n"
+         "  case xs of ChNil => ys | ChCons(c, r) => ChCons(c, chAppend r "
+         "ys) end;\n";
+  Out += "letrec mapTok = fn f => fn ts =>\n"
+         "  case ts of TkNil => TkNil | TkCons(t, r) => TkCons(f t, mapTok "
+         "f r) end;\n";
+  Out += "let compose = fn f => fn g => fn x => f (g x);\n";
+  Out += "let twice = fn f => compose f f;\n";
+  Out += "\n";
+
+  // One semantic action per state; every third is built by composition so
+  // the action table mixes first-order and derived functions.
+  for (int I = 0; I != States; ++I) {
+    std::string S = std::to_string(I);
+    if (I >= 2 && I % 3 == 0)
+      Out += "let act" + S + " = compose act" + std::to_string(I - 1) +
+             " act" + std::to_string(I - 2) + ";\n";
+    else if (I >= 1 && I % 3 == 1)
+      Out += "let act" + S + " = twice act" + std::to_string(I - 1) + ";\n";
+    else
+      Out += "let act" + S + " = fn len => len * " + std::to_string(I + 2) +
+             " + " + S + ";\n";
+  }
+  Out += "\n";
+
+  // The action table as a list of functions, plus table lookup — the
+  // dispatch join point of any table-driven lexer.
+  Out += "let actions =\n";
+  for (int I = 0; I != States; ++I)
+    Out += "  ACons(act" + std::to_string(I) + ",\n";
+  Out += "  ANil";
+  Out.append(static_cast<size_t>(States), ')');
+  Out += ";\n";
+  Out += "letrec selectAct = fn acts => fn n =>\n"
+         "  case acts of\n"
+         "    ANil => (fn len => 0 - 1)\n"
+         "  | ACons(f, rest) => if n == 0 then f else selectAct rest (n - "
+         "1)\n"
+         "  end;\n";
+  Out += "\n";
+
+  // The transition automaton: one function per state, all mutually
+  // recursive (like real generated lexers).  Each state tests the input
+  // class and either shifts to a neighbour state or emits a token via its
+  // action.
+  for (int I = 0; I != States; ++I) {
+    std::string S = std::to_string(I);
+    std::string Shift1 = std::to_string((I + 1) % States);
+    std::string Shift2 = std::to_string((I * 7 + 3) % States);
+    Out += I == 0 ? "letrec " : "and ";
+    Out += "st" + S + " = fn input => fn acc =>\n";
+    Out += "  case input of\n";
+    Out += "    ChNil => acc\n";
+    Out += "  | ChCons(c, rest) =>\n";
+    Out += "      if c < 4 then st" + Shift1 + " rest acc\n";
+    Out += "      else if c < 8 then st" + Shift2 + " rest acc\n";
+    Out += "      else st0 rest (TkCons((selectAct actions " + S +
+           ") c, acc))\n";
+    Out += "  end\n";
+  }
+  Out += ";\n";
+  // The state table itself is first-class, so state lookup is one more
+  // higher-order dispatch point.
+  Out += "data StList = SNil | SCons(CharList -> TokList -> TokList, "
+         "StList);\n";
+  Out += "let states =\n";
+  for (int I = 0; I != States; ++I)
+    Out += "  SCons(st" + std::to_string(I) + ",\n";
+  Out += "  SNil";
+  Out.append(static_cast<size_t>(States), ')');
+  Out += ";\n";
+  Out += "letrec selectState = fn n =>\n"
+         "  (letrec go = fn sts => fn k =>\n"
+         "     case sts of\n"
+         "       SNil => st0\n"
+         "     | SCons(s, rest) => if k == 0 then s else go rest (k - 1)\n"
+         "     end\n"
+         "   in go states n);\n";
+  Out += "let run = fn state => fn input => fn acc =>\n"
+         "  (selectState state) input acc;\n";
+  Out += "\n";
+
+  // Deterministic pseudo-input.
+  Out += "letrec mkInput = fn n =>\n"
+         "  if n == 0 then ChNil\n"
+         "  else ChCons(n - (n / 11) * 11, mkInput (n - 1));\n";
+  Out += "let tokens = run 0 (mkInput 50) TkNil;\n";
+  Out += "let renumbered = mapTok (selectAct actions 1) tokens;\n";
+  Out += "tokCount renumbered + tokCount tokens\n";
+  return Out;
+}

@@ -1,0 +1,78 @@
+//===-- gen/Generators.h - Benchmark program generators ---------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source-level workload generators standing in for the paper's SML
+/// benchmark corpus (see DESIGN.md §5):
+///
+///   * `makeCubicFamily(n)` — the Section 10 parameterized benchmark that
+///     exhibits the standard algorithm's cubic behaviour,
+///   * `makeJoinPointFamily(n)` — the Section 2 introduction fragment
+///     (one function applied from n call sites),
+///   * `makeEffectsFamily(n)` — call chains with a side-effecting core,
+///     for the Section 8 effects-analysis experiment,
+///   * `makeCalledOnceFamily(n)` — a mix of single-call and multi-call
+///     functions for the called-once experiment,
+///   * `makeRandomProgram(opts)` — seeded, typed-by-construction random
+///     programs over a bounded-type value pool, used by the equivalence
+///     property tests and the scaling benches.
+///
+/// All generators emit surface syntax; parse with `parseProgram`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_GEN_GENERATORS_H
+#define STCFA_GEN_GENERATORS_H
+
+#include <cstdint>
+#include <string>
+
+namespace stcfa {
+
+/// The paper's parameterized cubic benchmark (Section 10): `fs`/`bs` plus
+/// \p N renamed copies of the `f i`/`b i`/`x i`/`y i` block.
+std::string makeCubicFamily(int N);
+
+/// One identity function applied from \p N call sites, returning through a
+/// shared join point (the Section 2 introduction example).
+std::string makeJoinPointFamily(int N);
+
+/// A chain of \p N wrapper functions over one printing core, plus \p N
+/// pure functions; exactly the wrappers and the core are side-effecting.
+std::string makeEffectsFamily(int N);
+
+/// \p N functions called exactly once plus \p N functions shared by two
+/// call sites (for called-once analysis: the first group qualifies).
+std::string makeCalledOnceFamily(int N);
+
+/// A dispatch chain: `d_i` can be any of `g_0..g_i`, and every `d_i` is
+/// called.  Call site `d_i x` therefore has `i+1` possible callees — the
+/// workload where k-limited annotations pay off and the full label-set
+/// representation costs Θ(n²).
+std::string makeDispatchFamily(int N);
+
+/// Options for the random generator.  All programs are well-typed with
+/// types drawn from a fixed bounded template (order <= 2).
+struct RandomProgramOptions {
+  uint64_t Seed = 1;
+  /// Number of top-level bindings.
+  int NumBindings = 40;
+  bool UseTuples = true;
+  bool UseDatatypes = true;
+  bool UseIf = true;
+  /// Mutable cells holding functions (makes the graph analysis inexact but
+  /// still sound; see DESIGN.md).
+  bool UseRefs = false;
+  /// Sprinkle `print` into some function bodies.
+  bool UseEffects = false;
+};
+
+/// Generates a random program per \p Opts; deterministic in `Opts.Seed`.
+std::string makeRandomProgram(const RandomProgramOptions &Opts);
+
+} // namespace stcfa
+
+#endif // STCFA_GEN_GENERATORS_H

@@ -1,0 +1,468 @@
+//===-- interp/Interpreter.cpp - Reference interpreter --------------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <algorithm>
+
+using namespace stcfa;
+
+namespace {
+
+enum class ValueKind : uint8_t { Int, Bool, Unit, String, Closure, Tuple,
+                                 Con, Ref };
+
+struct Value {
+  ValueKind Kind;
+  int64_t IntVal = 0;   // Int/Bool payload
+  Symbol Str;           // String payload
+  ExprId Lam;           // Closure: the abstraction
+  uint32_t Env = 0;     // Closure: captured environment
+  ConId Con;            // Con payload
+  std::vector<uint32_t> Elems; // Tuple/Con fields (value ids)
+  uint32_t Cell = 0;    // Ref payload (cell id)
+};
+
+struct EnvNode {
+  VarId Var;
+  uint32_t Value = 0;
+  uint32_t Parent = 0; // 0 = empty environment
+};
+
+class Interp {
+public:
+  Interp(const Module &M, uint64_t Fuel, uint32_t MaxDepth)
+      : M(M), Fuel(Fuel), MaxDepth(MaxDepth) {
+    R.LabelsAt.assign(M.numExprs(), DenseBitset(M.numLabels()));
+    R.VarLabels.assign(M.numVars(), DenseBitset(M.numLabels()));
+    R.DidEffect.assign(M.numExprs(), false);
+    R.CallSitesOf.assign(M.numLabels(), {});
+    Envs.push_back({VarId::invalid(), 0, 0}); // sentinel empty env
+  }
+
+  InterpreterResult run() {
+    uint32_t V = eval(M.root(), /*Env=*/0, /*Depth=*/0);
+    R.Completed = (V != BadValue);
+    if (R.Completed)
+      R.FinalValue = render(V);
+    return std::move(R);
+  }
+
+private:
+  static constexpr uint32_t BadValue = ~0u;
+
+  uint32_t makeValue(Value V) {
+    Values.push_back(std::move(V));
+    return static_cast<uint32_t>(Values.size() - 1);
+  }
+
+  uint32_t makeInt(int64_t I) {
+    Value V;
+    V.Kind = ValueKind::Int;
+    V.IntVal = I;
+    return makeValue(std::move(V));
+  }
+
+  uint32_t makeBool(bool B) {
+    Value V;
+    V.Kind = ValueKind::Bool;
+    V.IntVal = B;
+    return makeValue(std::move(V));
+  }
+
+  uint32_t makeUnit() {
+    Value V;
+    V.Kind = ValueKind::Unit;
+    return makeValue(std::move(V));
+  }
+
+  uint32_t bind(uint32_t Env, VarId Var, uint32_t Val) {
+    Envs.push_back({Var, Val, Env});
+    return static_cast<uint32_t>(Envs.size() - 1);
+  }
+
+  uint32_t lookup(uint32_t Env, VarId Var) {
+    for (uint32_t E = Env; E != 0; E = Envs[E].Parent)
+      if (Envs[E].Var == Var)
+        return Envs[E].Value;
+    abort("unbound variable at runtime");
+    return BadValue;
+  }
+
+  void abort(std::string Why) {
+    if (R.Abort.empty())
+      R.Abort = std::move(Why);
+  }
+
+  /// Records that occurrence \p E evaluated to \p Val.
+  void observe(ExprId E, uint32_t Val) {
+    if (Values[Val].Kind == ValueKind::Closure) {
+      const auto *Lam = cast<LamExpr>(M.expr(Values[Val].Lam));
+      R.LabelsAt[E.index()].insert(Lam->label().index());
+    }
+  }
+
+  void observeVar(VarId V, uint32_t Val) {
+    if (Values[Val].Kind == ValueKind::Closure) {
+      const auto *Lam = cast<LamExpr>(M.expr(Values[Val].Lam));
+      R.VarLabels[V.index()].insert(Lam->label().index());
+    }
+  }
+
+  uint32_t eval(ExprId Id, uint32_t Env, uint32_t Depth);
+  uint32_t evalPrim(const PrimExpr *P, uint32_t Env, uint32_t Depth);
+  std::string render(uint32_t Val) const;
+
+  const Module &M;
+  uint64_t Fuel;
+  uint32_t MaxDepth;
+  InterpreterResult R;
+  std::vector<Value> Values;
+  std::vector<EnvNode> Envs;
+  std::vector<uint32_t> Cells; // ref heap: cell -> value id
+  uint64_t EffectCounter = 0;
+};
+
+uint32_t Interp::eval(ExprId Id, uint32_t Env, uint32_t Depth) {
+  if (Fuel == 0) {
+    abort("out of fuel");
+    return BadValue;
+  }
+  --Fuel;
+  ++R.Steps;
+  if (Depth > MaxDepth) {
+    abort("recursion too deep");
+    return BadValue;
+  }
+
+  uint64_t EffectsBefore = EffectCounter;
+  const Expr *E = M.expr(Id);
+  uint32_t Result = BadValue;
+
+  switch (E->kind()) {
+  case ExprKind::Var: {
+    uint32_t V = lookup(Env, cast<VarExpr>(E)->var());
+    if (V == BadValue)
+      abort("stuck: letrec variable used before initialization");
+    Result = V;
+    break;
+  }
+  case ExprKind::Lam: {
+    Value V;
+    V.Kind = ValueKind::Closure;
+    V.Lam = Id;
+    V.Env = Env;
+    Result = makeValue(std::move(V));
+    break;
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    uint32_t Fn = eval(A->fn(), Env, Depth + 1);
+    if (Fn == BadValue)
+      break;
+    uint32_t Arg = eval(A->arg(), Env, Depth + 1);
+    if (Arg == BadValue)
+      break;
+    if (Values[Fn].Kind != ValueKind::Closure) {
+      abort("stuck: applying a non-function");
+      break;
+    }
+    const auto *Lam = cast<LamExpr>(M.expr(Values[Fn].Lam));
+    // Record the dynamic call edge.
+    auto &Sites = R.CallSitesOf[Lam->label().index()];
+    if (std::find(Sites.begin(), Sites.end(), Id) == Sites.end())
+      Sites.push_back(Id);
+    observeVar(Lam->param(), Arg);
+    uint32_t CallEnv = bind(Values[Fn].Env, Lam->param(), Arg);
+    Result = eval(Lam->body(), CallEnv, Depth + 1);
+    break;
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    uint32_t NewEnv;
+    if (L->isRec()) {
+      // Tie the knot: bind first, then patch the closure's environment.
+      NewEnv = bind(Env, L->var(), BadValue);
+      uint32_t Init = eval(L->init(), NewEnv, Depth + 1);
+      if (Init == BadValue)
+        break;
+      Envs[NewEnv].Value = Init;
+      observeVar(L->var(), Init);
+    } else {
+      uint32_t Init = eval(L->init(), Env, Depth + 1);
+      if (Init == BadValue)
+        break;
+      observeVar(L->var(), Init);
+      NewEnv = bind(Env, L->var(), Init);
+    }
+    Result = eval(L->body(), NewEnv, Depth + 1);
+    break;
+  }
+  case ExprKind::LetRecN: {
+    const auto *L = cast<LetRecNExpr>(E);
+    // Tie the whole knot: bind every name first, then patch each closure.
+    uint32_t NewEnv = Env;
+    std::vector<uint32_t> Slots;
+    for (const LetRecNExpr::Binding &B : L->bindings()) {
+      NewEnv = bind(NewEnv, B.Var, BadValue);
+      Slots.push_back(NewEnv);
+    }
+    bool Ok = true;
+    for (size_t I = 0; I != L->bindings().size() && Ok; ++I) {
+      uint32_t Init = eval(L->bindings()[I].Init, NewEnv, Depth + 1);
+      if (Init == BadValue) {
+        Ok = false;
+        break;
+      }
+      Envs[Slots[I]].Value = Init;
+      observeVar(L->bindings()[I].Var, Init);
+    }
+    if (!Ok)
+      break;
+    Result = eval(L->body(), NewEnv, Depth + 1);
+    break;
+  }
+  case ExprKind::Lit: {
+    const auto *L = cast<LitExpr>(E);
+    switch (L->litKind()) {
+    case LitKind::Int:
+      Result = makeInt(L->intValue());
+      break;
+    case LitKind::Bool:
+      Result = makeBool(L->boolValue());
+      break;
+    case LitKind::Unit:
+      Result = makeUnit();
+      break;
+    case LitKind::String: {
+      Value V;
+      V.Kind = ValueKind::String;
+      V.Str = L->stringValue();
+      Result = makeValue(std::move(V));
+      break;
+    }
+    }
+    break;
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    uint32_t C = eval(I->cond(), Env, Depth + 1);
+    if (C == BadValue)
+      break;
+    if (Values[C].Kind != ValueKind::Bool) {
+      abort("stuck: non-boolean condition");
+      break;
+    }
+    Result = eval(Values[C].IntVal ? I->thenExpr() : I->elseExpr(), Env,
+                  Depth + 1);
+    break;
+  }
+  case ExprKind::Tuple: {
+    const auto *T = cast<TupleExpr>(E);
+    Value V;
+    V.Kind = ValueKind::Tuple;
+    for (ExprId C : T->elems()) {
+      uint32_t Elem = eval(C, Env, Depth + 1);
+      if (Elem == BadValue)
+        return BadValue;
+      V.Elems.push_back(Elem);
+    }
+    Result = makeValue(std::move(V));
+    break;
+  }
+  case ExprKind::Proj: {
+    const auto *P = cast<ProjExpr>(E);
+    uint32_t T = eval(P->tuple(), Env, Depth + 1);
+    if (T == BadValue)
+      break;
+    if (Values[T].Kind != ValueKind::Tuple ||
+        P->index() >= Values[T].Elems.size()) {
+      abort("stuck: bad projection");
+      break;
+    }
+    Result = Values[T].Elems[P->index()];
+    break;
+  }
+  case ExprKind::Con: {
+    const auto *C = cast<ConExpr>(E);
+    Value V;
+    V.Kind = ValueKind::Con;
+    V.Con = C->con();
+    for (ExprId A : C->args()) {
+      uint32_t Arg = eval(A, Env, Depth + 1);
+      if (Arg == BadValue)
+        return BadValue;
+      V.Elems.push_back(Arg);
+    }
+    Result = makeValue(std::move(V));
+    break;
+  }
+  case ExprKind::Case: {
+    const auto *C = cast<CaseExpr>(E);
+    uint32_t S = eval(C->scrutinee(), Env, Depth + 1);
+    if (S == BadValue)
+      break;
+    if (Values[S].Kind != ValueKind::Con) {
+      abort("stuck: case on a non-constructor");
+      break;
+    }
+    const CaseArm *Taken = nullptr;
+    for (const CaseArm &Arm : C->arms())
+      if (Arm.Con == Values[S].Con) {
+        Taken = &Arm;
+        break;
+      }
+    if (!Taken) {
+      abort("stuck: no matching case arm");
+      break;
+    }
+    uint32_t ArmEnv = Env;
+    for (size_t I = 0; I != Taken->Binders.size(); ++I) {
+      observeVar(Taken->Binders[I], Values[S].Elems[I]);
+      ArmEnv = bind(ArmEnv, Taken->Binders[I], Values[S].Elems[I]);
+    }
+    Result = eval(Taken->Body, ArmEnv, Depth + 1);
+    break;
+  }
+  case ExprKind::Prim:
+    Result = evalPrim(cast<PrimExpr>(E), Env, Depth);
+    break;
+  }
+
+  if (Result == BadValue)
+    return BadValue;
+  observe(Id, Result);
+  if (EffectCounter != EffectsBefore)
+    R.DidEffect[Id.index()] = true;
+  return Result;
+}
+
+uint32_t Interp::evalPrim(const PrimExpr *P, uint32_t Env, uint32_t Depth) {
+  std::vector<uint32_t> Args;
+  for (ExprId A : P->args()) {
+    uint32_t V = eval(A, Env, Depth + 1);
+    if (V == BadValue)
+      return BadValue;
+    Args.push_back(V);
+  }
+  auto intsOk = [&] {
+    for (uint32_t A : Args)
+      if (Values[A].Kind != ValueKind::Int) {
+        abort("stuck: arithmetic on a non-integer");
+        return false;
+      }
+    return true;
+  };
+  auto intArg = [&](size_t I) { return Values[Args[I]].IntVal; };
+  switch (P->op()) {
+  case PrimOp::Add:
+    return intsOk() ? makeInt(intArg(0) + intArg(1)) : BadValue;
+  case PrimOp::Sub:
+    return intsOk() ? makeInt(intArg(0) - intArg(1)) : BadValue;
+  case PrimOp::Mul:
+    return intsOk() ? makeInt(intArg(0) * intArg(1)) : BadValue;
+  case PrimOp::Div: {
+    if (!intsOk())
+      return BadValue;
+    if (intArg(1) == 0) {
+      abort("stuck: division by zero");
+      return BadValue;
+    }
+    return makeInt(intArg(0) / intArg(1));
+  }
+  case PrimOp::Lt:
+    return intsOk() ? makeBool(intArg(0) < intArg(1)) : BadValue;
+  case PrimOp::Le:
+    return intsOk() ? makeBool(intArg(0) <= intArg(1)) : BadValue;
+  case PrimOp::Eq:
+    return intsOk() ? makeBool(intArg(0) == intArg(1)) : BadValue;
+  case PrimOp::Not:
+    if (Values[Args[0]].Kind != ValueKind::Bool) {
+      abort("stuck: not on a non-boolean");
+      return BadValue;
+    }
+    return makeBool(!Values[Args[0]].IntVal);
+  case PrimOp::Print:
+    ++EffectCounter;
+    R.Output.push_back(render(Args[0]));
+    return makeUnit();
+  case PrimOp::RefNew: {
+    Cells.push_back(Args[0]);
+    Value V;
+    V.Kind = ValueKind::Ref;
+    V.Cell = static_cast<uint32_t>(Cells.size() - 1);
+    return makeValue(std::move(V));
+  }
+  case PrimOp::RefGet:
+    if (Values[Args[0]].Kind != ValueKind::Ref) {
+      abort("stuck: dereferencing a non-ref");
+      return BadValue;
+    }
+    return Cells[Values[Args[0]].Cell];
+  case PrimOp::RefSet:
+    if (Values[Args[0]].Kind != ValueKind::Ref) {
+      abort("stuck: assigning a non-ref");
+      return BadValue;
+    }
+    ++EffectCounter;
+    Cells[Values[Args[0]].Cell] = Args[1];
+    return makeUnit();
+  }
+  assert(false && "unknown primitive");
+  return BadValue;
+}
+
+std::string Interp::render(uint32_t Val) const {
+  const Value &V = Values[Val];
+  switch (V.Kind) {
+  case ValueKind::Int:
+    return std::to_string(V.IntVal);
+  case ValueKind::Bool:
+    return V.IntVal ? "true" : "false";
+  case ValueKind::Unit:
+    return "unit";
+  case ValueKind::String:
+    return std::string(M.text(V.Str));
+  case ValueKind::Closure: {
+    const auto *Lam = cast<LamExpr>(M.expr(V.Lam));
+    return "<fn " + std::string(M.text(M.var(Lam->param()).Name)) + ">";
+  }
+  case ValueKind::Tuple: {
+    std::string Out = "(";
+    for (size_t I = 0; I != V.Elems.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += render(V.Elems[I]);
+    }
+    return Out + ")";
+  }
+  case ValueKind::Con: {
+    std::string Out(M.text(M.con(V.Con).Name));
+    if (!V.Elems.empty()) {
+      Out += '(';
+      for (size_t I = 0; I != V.Elems.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += render(V.Elems[I]);
+      }
+      Out += ')';
+    }
+    return Out;
+  }
+  case ValueKind::Ref:
+    return "ref " + render(Cells[V.Cell]);
+  }
+  assert(false && "unknown value kind");
+  return "?";
+}
+
+} // namespace
+
+InterpreterResult stcfa::interpret(const Module &M, uint64_t Fuel,
+                                   uint32_t MaxDepth) {
+  Interp I(M, Fuel, MaxDepth);
+  return I.run();
+}

@@ -1,0 +1,63 @@
+//===-- interp/Interpreter.h - Reference interpreter ------------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A call-by-value reference interpreter for the analysed language.  Its
+/// role in the reproduction is *dynamic ground truth*: it records, for a
+/// concrete run, which abstractions each occurrence actually evaluated to,
+/// which call sites invoked which abstractions, and which expressions
+/// actually performed side effects.  Every static analysis in this
+/// repository must over-approximate these observations — the end-to-end
+/// soundness harness in `tests/dynamic_soundness_test.cpp`.
+///
+/// Evaluation is fuel-bounded (non-terminating programs yield a sound
+/// partial trace) and depth-bounded.  Runtime type errors (possible for
+/// untypeable inputs) abort evaluation; facts recorded up to that point
+/// remain valid observations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_INTERP_INTERPRETER_H
+#define STCFA_INTERP_INTERPRETER_H
+
+#include "ast/Module.h"
+#include "support/DenseBitset.h"
+
+#include <string>
+#include <vector>
+
+namespace stcfa {
+
+/// Observations from one (possibly partial) run.
+struct InterpreterResult {
+  /// True if evaluation finished within the fuel and without getting
+  /// stuck.
+  bool Completed = false;
+  /// Reason when `!Completed` ("out of fuel", "stuck: ...").
+  std::string Abort;
+  uint64_t Steps = 0;
+
+  /// Per occurrence: labels of abstraction values it evaluated to.
+  std::vector<DenseBitset> LabelsAt;
+  /// Per binder: labels of abstraction values it was bound to.
+  std::vector<DenseBitset> VarLabels;
+  /// Per occurrence: did a side effect execute during its evaluation?
+  std::vector<bool> DidEffect;
+  /// Per label: distinct call sites (AppExpr ids) that invoked it.
+  std::vector<std::vector<ExprId>> CallSitesOf;
+  /// Everything printed, in order.
+  std::vector<std::string> Output;
+  /// Rendering of the final value (empty if not completed).
+  std::string FinalValue;
+};
+
+/// Runs \p M and returns the observations.
+InterpreterResult interpret(const Module &M, uint64_t Fuel = 1000000,
+                            uint32_t MaxDepth = 2000);
+
+} // namespace stcfa
+
+#endif // STCFA_INTERP_INTERPRETER_H

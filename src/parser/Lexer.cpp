@@ -1,0 +1,188 @@
+//===-- parser/Lexer.cpp - Tokenizer for the mini-ML syntax ---------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace stcfa;
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::advance() {
+  assert(Pos < Source.size() && "advancing past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    // Line comment: -- to end of line.
+    if (C == '-' && peek(1) == '-') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    // Nested block comment: (* ... *).
+    if (C == '(' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      int Depth = 1;
+      while (Depth > 0) {
+        if (Pos >= Source.size()) {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        char D = advance();
+        if (D == '(' && peek() == '*') {
+          advance();
+          ++Depth;
+        } else if (D == '*' && peek() == ')') {
+          advance();
+          --Depth;
+        }
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+static TokenKind keywordKind(std::string_view Text) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"data", TokenKind::KwData},   {"let", TokenKind::KwLet},
+      {"letrec", TokenKind::KwLetRec}, {"in", TokenKind::KwIn},
+      {"fn", TokenKind::KwFn},       {"if", TokenKind::KwIf},
+      {"then", TokenKind::KwThen},   {"else", TokenKind::KwElse},
+      {"case", TokenKind::KwCase},   {"of", TokenKind::KwOf},
+      {"end", TokenKind::KwEnd},     {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse}, {"unit", TokenKind::KwUnit},
+      {"not", TokenKind::KwNot},     {"print", TokenKind::KwPrint},
+      {"ref", TokenKind::KwRef},
+      {"and", TokenKind::KwAnd},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? TokenKind::Eof : It->second;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = here();
+  if (Pos >= Source.size())
+    return make(TokenKind::Eof, Loc);
+
+  char C = peek();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    size_t Start = Pos;
+    while (Pos < Source.size() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+            peek() == '\''))
+      advance();
+    std::string_view Text = Source.substr(Start, Pos - Start);
+    if (TokenKind Kw = keywordKind(Text); Kw != TokenKind::Eof)
+      return make(Kw, Loc, Text);
+    bool Upper = std::isupper(static_cast<unsigned char>(Text.front()));
+    return make(Upper ? TokenKind::UIdent : TokenKind::Ident, Loc, Text);
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    size_t Start = Pos;
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    Token T = make(TokenKind::Int, Loc, Source.substr(Start, Pos - Start));
+    T.IntValue = 0;
+    for (char D : T.Text)
+      T.IntValue = T.IntValue * 10 + (D - '0');
+    return T;
+  }
+
+  if (C == '"') {
+    advance();
+    size_t Start = Pos;
+    while (Pos < Source.size() && peek() != '"' && peek() != '\n')
+      advance();
+    if (Pos >= Source.size() || peek() != '"') {
+      Diags.error(Loc, "unterminated string literal");
+      return make(TokenKind::Error, Loc);
+    }
+    std::string_view Text = Source.substr(Start, Pos - Start);
+    advance(); // closing quote
+    return make(TokenKind::String, Loc, Text);
+  }
+
+  advance();
+  switch (C) {
+  case '(':
+    return make(TokenKind::LParen, Loc);
+  case ')':
+    return make(TokenKind::RParen, Loc);
+  case ',':
+    return make(TokenKind::Comma, Loc);
+  case ';':
+    return make(TokenKind::Semi, Loc);
+  case '|':
+    return make(TokenKind::Pipe, Loc);
+  case '#':
+    return make(TokenKind::Hash, Loc);
+  case '!':
+    return make(TokenKind::Bang, Loc);
+  case '+':
+    return make(TokenKind::Plus, Loc);
+  case '*':
+    return make(TokenKind::Star, Loc);
+  case '/':
+    return make(TokenKind::Slash, Loc);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return make(TokenKind::Arrow, Loc);
+    }
+    return make(TokenKind::Minus, Loc);
+  case '=':
+    if (peek() == '>') {
+      advance();
+      return make(TokenKind::FatArrow, Loc);
+    }
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::EqualEqual, Loc);
+    }
+    return make(TokenKind::Equal, Loc);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::LessEqual, Loc);
+    }
+    return make(TokenKind::Less, Loc);
+  case ':':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::Assign, Loc);
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  return make(TokenKind::Error, Loc);
+}

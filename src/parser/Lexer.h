@@ -1,0 +1,110 @@
+//===-- parser/Lexer.h - Tokenizer for the mini-ML syntax ------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the surface syntax.  Supports `--` line comments and
+/// `(* ... *)` block comments (nested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_PARSER_LEXER_H
+#define STCFA_PARSER_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace stcfa {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+  Ident,  // lower-case initial
+  UIdent, // upper-case initial (constructors, datatype names)
+  Int,
+  String,
+  // Keywords.
+  KwData,
+  KwLet,
+  KwLetRec,
+  KwIn,
+  KwFn,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwCase,
+  KwOf,
+  KwEnd,
+  KwTrue,
+  KwFalse,
+  KwUnit,
+  KwNot,
+  KwPrint,
+  KwRef,
+  KwAnd,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  Comma,
+  Semi,
+  Pipe,
+  FatArrow, // =>
+  Arrow,    // ->
+  Equal,    // =
+  EqualEqual,
+  Less,
+  LessEqual,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Hash,
+  Bang,
+  Assign, // :=
+};
+
+/// One token with its source range start.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  /// Identifier / string text (unescaped) when applicable.
+  std::string_view Text;
+  /// Integer value for `Int` tokens.
+  int64_t IntValue = 0;
+};
+
+/// Produces tokens from a source buffer.  The buffer must outlive the lexer
+/// (token `Text` views point into it).
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token.
+  Token next();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipTrivia();
+  SourceLoc here() const { return {Line, Col}; }
+  Token make(TokenKind Kind, SourceLoc Loc, std::string_view Text = {}) {
+    return {Kind, Loc, Text, 0};
+  }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace stcfa
+
+#endif // STCFA_PARSER_LEXER_H

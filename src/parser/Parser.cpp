@@ -1,0 +1,804 @@
+//===-- parser/Parser.cpp - Recursive-descent parser ----------------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "parser/Lexer.h"
+
+#include <unordered_map>
+
+using namespace stcfa;
+
+namespace {
+
+/// The parser proper.  On the first error `Failed` is set and every entry
+/// point returns an invalid id; callers bail out promptly.
+class ParserImpl {
+public:
+  ParserImpl(std::string_view Source, DiagnosticEngine &Diags)
+      : Lex(Source, Diags), Diags(Diags) {
+    Tok = Lex.next();
+  }
+
+  std::unique_ptr<Module> run();
+
+private:
+  //===--- token plumbing --------------------------------------------------//
+
+  void bump() { Tok = Lex.next(); }
+
+  bool at(TokenKind K) const { return Tok.Kind == K; }
+
+  bool eat(TokenKind K) {
+    if (!at(K))
+      return false;
+    bump();
+    return true;
+  }
+
+  void expect(TokenKind K, const char *What) {
+    if (eat(K))
+      return;
+    fail(std::string("expected ") + What);
+  }
+
+  void fail(std::string Message) {
+    if (!Failed)
+      Diags.error(Tok.Loc, std::move(Message));
+    Failed = true;
+  }
+
+  //===--- scopes ----------------------------------------------------------//
+
+  VarId bindVar(Symbol Name) {
+    VarId Id = M->makeVar(Name);
+    Scopes[Name].push_back(Id);
+    return Id;
+  }
+
+  void unbindVar(Symbol Name) {
+    auto It = Scopes.find(Name);
+    assert(It != Scopes.end() && !It->second.empty() && "unbalanced scope");
+    It->second.pop_back();
+  }
+
+  VarId lookupVar(Symbol Name) {
+    auto It = Scopes.find(Name);
+    if (It == Scopes.end() || It->second.empty())
+      return VarId::invalid();
+    return It->second.back();
+  }
+
+  //===--- grammar ---------------------------------------------------------//
+
+  void parseDataDecl();
+  TypeId parseType();
+  TypeId parseTypeAtom();
+  ExprId parseExpr();
+  ExprId parseExprImpl();
+
+  /// A variable occurrence that referred forward to a later member of a
+  /// `letrec ... and ...` group; patched when the group closes.
+  struct PendingRef {
+    ExprId Ref;
+    Symbol Name;
+    SourceLoc Loc;
+  };
+
+  /// Parses `name = init (and name = init)*` after `letrec`, leaving all
+  /// names bound in scope.  Forward references among the inits are
+  /// deferred and patched here; references that would resolve to an outer
+  /// binding shadowed by a group member are rejected (ML scopes every
+  /// group name over every initializer).
+  bool parseRecBindings(std::vector<Symbol> &Names,
+                        std::vector<LetRecNExpr::Binding> &Bindings);
+  ExprId parseAssign();
+  ExprId parseCompare();
+  ExprId parseAdditive();
+  ExprId parseMultiplicative();
+  ExprId parseApps();
+  ExprId parsePrefix();
+  ExprId parseAtom();
+  ExprId parseCase(SourceLoc Loc);
+  ExprId parseParenOrTuple(SourceLoc Loc);
+
+  /// True if the current token can begin a `prefix` expression (and hence
+  /// continue an application chain).
+  bool startsOperand() const {
+    switch (Tok.Kind) {
+    case TokenKind::Ident:
+    case TokenKind::UIdent:
+    case TokenKind::Int:
+    case TokenKind::String:
+    case TokenKind::KwTrue:
+    case TokenKind::KwFalse:
+    case TokenKind::KwUnit:
+    case TokenKind::LParen:
+    case TokenKind::Hash:
+    case TokenKind::KwCase:
+    case TokenKind::Bang:
+    case TokenKind::KwNot:
+    case TokenKind::KwPrint:
+    case TokenKind::KwRef:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Maximum expression nesting depth (each level costs several stack
+  /// frames of recursive descent).
+  static constexpr uint32_t MaxDepth = 1000;
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  Token Tok;
+  uint32_t Depth = 0;
+  bool Failed = false;
+  std::unique_ptr<Module> M = std::make_unique<Module>();
+  std::unordered_map<Symbol, std::vector<VarId>> Scopes;
+  /// One frame per letrec group currently being parsed.
+  std::vector<std::vector<PendingRef>> PendingGroups;
+  /// Datatype names referenced in types, for post-parse validation.
+  std::vector<std::pair<Symbol, SourceLoc>> ReferencedDataNames;
+  /// Names of declared datatypes.
+  std::vector<Symbol> DeclaredDataNames;
+};
+
+} // namespace
+
+std::unique_ptr<Module> ParserImpl::run() {
+  struct TopBinding {
+    SourceLoc Loc;
+    std::vector<LetRecNExpr::Binding> Group; // singleton unless a rec group
+    bool IsRec;
+  };
+  std::vector<TopBinding> Bindings;
+  ExprId Final = ExprId::invalid();
+
+  while (!Failed) {
+    if (at(TokenKind::KwData)) {
+      parseDataDecl();
+      continue;
+    }
+    if (at(TokenKind::KwLetRec)) {
+      SourceLoc Loc = Tok.Loc;
+      bump();
+      std::vector<Symbol> Names;
+      std::vector<LetRecNExpr::Binding> GroupBindings;
+      if (!parseRecBindings(Names, GroupBindings))
+        break;
+      if (eat(TokenKind::Semi)) {
+        Bindings.push_back({Loc, std::move(GroupBindings), /*IsRec=*/true});
+        continue;
+      }
+      expect(TokenKind::KwIn, "';' or 'in'");
+      if (Failed)
+        break;
+      ExprId Body = parseExpr();
+      if (Failed)
+        break;
+      for (size_t I = Names.size(); I != 0; --I)
+        unbindVar(Names[I - 1]);
+      Final = GroupBindings.size() == 1
+                  ? M->makeLet(Loc, GroupBindings[0].Var,
+                               GroupBindings[0].Init, Body, /*IsRec=*/true)
+                  : M->makeLetRecN(Loc, std::move(GroupBindings), Body);
+      break;
+    }
+    if (at(TokenKind::KwLet)) {
+      SourceLoc Loc = Tok.Loc;
+      bump();
+      if (!at(TokenKind::Ident)) {
+        fail("expected identifier after 'let'");
+        break;
+      }
+      Symbol Name = M->sym(Tok.Text);
+      bump();
+      expect(TokenKind::Equal, "'='");
+      ExprId Init = parseExpr();
+      if (Failed)
+        break;
+      VarId Var = bindVar(Name);
+      if (eat(TokenKind::Semi)) {
+        Bindings.push_back({Loc, {{Var, Init}}, /*IsRec=*/false});
+        continue;
+      }
+      expect(TokenKind::KwIn, "';' or 'in'");
+      if (Failed)
+        break;
+      ExprId Body = parseExpr();
+      if (Failed)
+        break;
+      unbindVar(Name);
+      Final = M->makeLet(Loc, Var, Init, Body, /*IsRec=*/false);
+      break;
+    }
+    Final = parseExpr();
+    break;
+  }
+
+  if (!Failed && !Final.isValid())
+    fail("expected a program body expression");
+  if (!Failed)
+    expect(TokenKind::Eof, "end of input");
+
+  // Validate datatype references.
+  for (auto &[Name, Loc] : ReferencedDataNames) {
+    bool Known = false;
+    for (Symbol D : DeclaredDataNames)
+      Known |= (D == Name);
+    if (!Known) {
+      Diags.error(Loc, "unknown type name '" + std::string(M->text(Name)) +
+                           "'");
+      Failed = true;
+    }
+  }
+
+  if (Failed)
+    return nullptr;
+
+  // Fold the pending top-level bindings around the final expression,
+  // innermost last.
+  for (size_t I = Bindings.size(); I != 0; --I) {
+    TopBinding &B = Bindings[I - 1];
+    if (B.Group.size() == 1)
+      Final = M->makeLet(B.Loc, B.Group[0].Var, B.Group[0].Init, Final,
+                         B.IsRec);
+    else
+      Final = M->makeLetRecN(B.Loc, std::move(B.Group), Final);
+  }
+  M->setRoot(Final);
+  return std::move(M);
+}
+
+bool ParserImpl::parseRecBindings(std::vector<Symbol> &Names,
+                                  std::vector<LetRecNExpr::Binding> &Bindings) {
+  PendingGroups.emplace_back();
+  do {
+    if (!at(TokenKind::Ident)) {
+      fail("expected identifier after 'letrec'");
+      break;
+    }
+    Symbol Name = M->sym(Tok.Text);
+    SourceLoc Loc = Tok.Loc;
+    bump();
+    for (Symbol Prev : Names) {
+      if (Prev == Name) {
+        Diags.error(Loc, "duplicate name '" + std::string(M->text(Name)) +
+                             "' in letrec group");
+        Failed = true;
+      }
+    }
+    expect(TokenKind::Equal, "'='");
+    if (Failed)
+      break;
+    VarId Var = bindVar(Name);
+    ExprId Init = parseExpr();
+    if (Failed)
+      break;
+    if (!isa<LamExpr>(M->expr(Init))) {
+      Diags.error(Loc, "letrec initializer must be an abstraction");
+      Failed = true;
+      break;
+    }
+    Names.push_back(Name);
+    Bindings.push_back({Var, Init});
+  } while (eat(TokenKind::KwAnd));
+
+  // Patch forward references now that every group name is in scope;
+  // unresolved names may still belong to an enclosing group.
+  std::vector<PendingRef> Group = std::move(PendingGroups.back());
+  PendingGroups.pop_back();
+  for (const PendingRef &R : Group) {
+    VarId V = lookupVar(R.Name);
+    if (V.isValid()) {
+      cast<VarExpr>(M->expr(R.Ref))->setVar(V);
+      continue;
+    }
+    if (!PendingGroups.empty()) {
+      PendingGroups.back().push_back(R);
+      continue;
+    }
+    if (!Failed)
+      Diags.error(R.Loc,
+                  "unbound variable '" + std::string(M->text(R.Name)) + "'");
+    Failed = true;
+  }
+  if (Failed)
+    return false;
+
+  // ML scopes every group name over every initializer, but this parser
+  // resolves eagerly: an occurrence of a group name that bound to an
+  // *outer* shadowed binding inside an earlier initializer would be
+  // silently wrong — reject it instead.
+  for (size_t I = 0; I != Names.size(); ++I) {
+    auto It = Scopes.find(Names[I]);
+    assert(It != Scopes.end() && It->second.size() >= 1);
+    if (It->second.size() < 2)
+      continue;
+    VarId Outer = It->second[It->second.size() - 2];
+    for (const LetRecNExpr::Binding &B : Bindings) {
+      forEachExprPreorder(*M, B.Init, [&](ExprId, const Expr *E) {
+        const auto *VE = dyn_cast<VarExpr>(E);
+        if (VE && VE->isResolved() && VE->var() == Outer && !Failed) {
+          Diags.error(M->expr(B.Init)->loc(),
+                      "'" + std::string(M->text(Names[I])) +
+                          "' is shadowed by a later member of this letrec "
+                          "group; rename one of them");
+          Failed = true;
+        }
+      });
+    }
+  }
+  return !Failed;
+}
+
+void ParserImpl::parseDataDecl() {
+  SourceLoc Loc = Tok.Loc;
+  bump(); // data
+  if (!at(TokenKind::UIdent)) {
+    fail("expected datatype name after 'data'");
+    return;
+  }
+  Symbol DataName = M->sym(Tok.Text);
+  bump();
+  for (Symbol D : DeclaredDataNames) {
+    if (D == DataName) {
+      Diags.error(Loc, "duplicate datatype '" + std::string(M->text(DataName)) +
+                           "'");
+      Failed = true;
+      return;
+    }
+  }
+  DeclaredDataNames.push_back(DataName);
+  expect(TokenKind::Equal, "'='");
+
+  TypeId ResultType = M->types().dataType(DataName);
+  std::vector<ConId> Cons;
+  do {
+    if (Failed)
+      return;
+    if (!at(TokenKind::UIdent)) {
+      fail("expected constructor name");
+      return;
+    }
+    Symbol ConName = M->sym(Tok.Text);
+    SourceLoc ConLoc = Tok.Loc;
+    bump();
+    std::vector<TypeId> ArgTypes;
+    if (eat(TokenKind::LParen)) {
+      do {
+        ArgTypes.push_back(parseType());
+        if (Failed)
+          return;
+      } while (eat(TokenKind::Comma));
+      expect(TokenKind::RParen, "')'");
+    }
+    if (M->findCon(ConName).isValid()) {
+      Diags.error(ConLoc, "duplicate constructor '" +
+                              std::string(M->text(ConName)) + "'");
+      Failed = true;
+      return;
+    }
+    Cons.push_back(M->makeCon(ConName, DataName, std::move(ArgTypes),
+                              ResultType));
+  } while (eat(TokenKind::Pipe));
+  expect(TokenKind::Semi, "';' after data declaration");
+  M->addDataDecl(DataName, std::move(Cons));
+}
+
+TypeId ParserImpl::parseType() {
+  TypeId Left = parseTypeAtom();
+  if (Failed)
+    return Left;
+  if (eat(TokenKind::Arrow)) {
+    TypeId Right = parseType();
+    return Failed ? Right : M->types().arrowType(Left, Right);
+  }
+  return Left;
+}
+
+TypeId ParserImpl::parseTypeAtom() {
+  TypeTable &TT = M->types();
+  if (at(TokenKind::UIdent)) {
+    std::string_view Name = Tok.Text;
+    SourceLoc Loc = Tok.Loc;
+    bump();
+    if (Name == "Int")
+      return TT.intType();
+    if (Name == "Bool")
+      return TT.boolType();
+    if (Name == "Unit")
+      return TT.unitType();
+    if (Name == "String")
+      return TT.stringType();
+    if (Name == "Ref")
+      return TT.refType(parseTypeAtom());
+    Symbol S = M->sym(Name);
+    ReferencedDataNames.emplace_back(S, Loc);
+    return TT.dataType(S);
+  }
+  if (eat(TokenKind::LParen)) {
+    std::vector<TypeId> Fields;
+    do {
+      Fields.push_back(parseType());
+      if (Failed)
+        return Fields.back();
+    } while (eat(TokenKind::Comma));
+    expect(TokenKind::RParen, "')'");
+    return Fields.size() == 1 ? Fields[0] : TT.tupleType(std::move(Fields));
+  }
+  fail("expected a type");
+  return TT.unitType();
+}
+
+ExprId ParserImpl::parseExpr() {
+  if (Failed)
+    return ExprId::invalid();
+  // Bound the recursive descent: deeply nested input must produce a
+  // diagnostic, not a stack overflow.
+  if (Depth >= MaxDepth) {
+    fail("expression nesting too deep");
+    return ExprId::invalid();
+  }
+  ++Depth;
+  ExprId Out = parseExprImpl();
+  --Depth;
+  return Out;
+}
+
+ExprId ParserImpl::parseExprImpl() {
+  SourceLoc Loc = Tok.Loc;
+
+  if (eat(TokenKind::KwFn)) {
+    if (!at(TokenKind::Ident)) {
+      fail("expected parameter name after 'fn'");
+      return ExprId::invalid();
+    }
+    Symbol Name = M->sym(Tok.Text);
+    bump();
+    expect(TokenKind::FatArrow, "'=>'");
+    VarId Param = bindVar(Name);
+    ExprId Body = parseExpr();
+    unbindVar(Name);
+    if (Failed)
+      return ExprId::invalid();
+    return M->makeLam(Loc, Param, Body);
+  }
+
+  if (at(TokenKind::KwLetRec)) {
+    bump();
+    std::vector<Symbol> Names;
+    std::vector<LetRecNExpr::Binding> Bindings;
+    if (!parseRecBindings(Names, Bindings))
+      return ExprId::invalid();
+    expect(TokenKind::KwIn, "'in'");
+    ExprId Body = parseExpr();
+    for (size_t I = Names.size(); I != 0; --I)
+      unbindVar(Names[I - 1]);
+    if (Failed)
+      return ExprId::invalid();
+    if (Bindings.size() == 1)
+      return M->makeLet(Loc, Bindings[0].Var, Bindings[0].Init, Body,
+                        /*IsRec=*/true);
+    return M->makeLetRecN(Loc, std::move(Bindings), Body);
+  }
+
+  if (at(TokenKind::KwLet)) {
+    bump();
+    if (!at(TokenKind::Ident)) {
+      fail("expected identifier after 'let'");
+      return ExprId::invalid();
+    }
+    Symbol Name = M->sym(Tok.Text);
+    bump();
+    expect(TokenKind::Equal, "'='");
+    ExprId Init = parseExpr();
+    if (Failed)
+      return ExprId::invalid();
+    VarId Var = bindVar(Name);
+    expect(TokenKind::KwIn, "'in'");
+    ExprId Body = parseExpr();
+    unbindVar(Name);
+    if (Failed)
+      return ExprId::invalid();
+    return M->makeLet(Loc, Var, Init, Body, /*IsRec=*/false);
+  }
+
+  if (eat(TokenKind::KwIf)) {
+    // All three positions admit full expressions; `then`/`else` terminate
+    // the sub-parses, and a dangling `else` binds to the innermost `if`.
+    ExprId Cond = parseExpr();
+    expect(TokenKind::KwThen, "'then'");
+    ExprId Then = parseExpr();
+    expect(TokenKind::KwElse, "'else'");
+    ExprId Else = parseExpr();
+    if (Failed)
+      return ExprId::invalid();
+    return M->makeIf(Loc, Cond, Then, Else);
+  }
+
+  return parseAssign();
+}
+
+ExprId ParserImpl::parseAssign() {
+  ExprId Left = parseCompare();
+  if (Failed)
+    return ExprId::invalid();
+  SourceLoc Loc = Tok.Loc;
+  if (eat(TokenKind::Assign)) {
+    // The right-hand side of `:=` admits full expressions (`r := fn x => x`
+    // is common ML style).
+    ExprId Right = parseExpr();
+    if (Failed)
+      return ExprId::invalid();
+    return M->makePrim(Loc, PrimOp::RefSet, {Left, Right});
+  }
+  return Left;
+}
+
+ExprId ParserImpl::parseCompare() {
+  ExprId Left = parseAdditive();
+  if (Failed)
+    return ExprId::invalid();
+  PrimOp Op;
+  if (at(TokenKind::Less))
+    Op = PrimOp::Lt;
+  else if (at(TokenKind::LessEqual))
+    Op = PrimOp::Le;
+  else if (at(TokenKind::EqualEqual))
+    Op = PrimOp::Eq;
+  else
+    return Left;
+  SourceLoc Loc = Tok.Loc;
+  bump();
+  ExprId Right = parseAdditive();
+  if (Failed)
+    return ExprId::invalid();
+  return M->makePrim(Loc, Op, {Left, Right});
+}
+
+ExprId ParserImpl::parseAdditive() {
+  ExprId Left = parseMultiplicative();
+  while (!Failed && (at(TokenKind::Plus) || at(TokenKind::Minus))) {
+    PrimOp Op = at(TokenKind::Plus) ? PrimOp::Add : PrimOp::Sub;
+    SourceLoc Loc = Tok.Loc;
+    bump();
+    ExprId Right = parseMultiplicative();
+    if (Failed)
+      return ExprId::invalid();
+    Left = M->makePrim(Loc, Op, {Left, Right});
+  }
+  return Failed ? ExprId::invalid() : Left;
+}
+
+ExprId ParserImpl::parseMultiplicative() {
+  ExprId Left = parseApps();
+  while (!Failed && (at(TokenKind::Star) || at(TokenKind::Slash))) {
+    PrimOp Op = at(TokenKind::Star) ? PrimOp::Mul : PrimOp::Div;
+    SourceLoc Loc = Tok.Loc;
+    bump();
+    ExprId Right = parseApps();
+    if (Failed)
+      return ExprId::invalid();
+    Left = M->makePrim(Loc, Op, {Left, Right});
+  }
+  return Failed ? ExprId::invalid() : Left;
+}
+
+ExprId ParserImpl::parseApps() {
+  ExprId Left = parsePrefix();
+  while (!Failed && startsOperand()) {
+    SourceLoc Loc = Tok.Loc;
+    ExprId Arg = parsePrefix();
+    if (Failed)
+      return ExprId::invalid();
+    Left = M->makeApp(Loc, Left, Arg);
+  }
+  return Failed ? ExprId::invalid() : Left;
+}
+
+ExprId ParserImpl::parsePrefix() {
+  SourceLoc Loc = Tok.Loc;
+  PrimOp Op;
+  if (at(TokenKind::KwNot))
+    Op = PrimOp::Not;
+  else if (at(TokenKind::KwPrint))
+    Op = PrimOp::Print;
+  else if (at(TokenKind::KwRef))
+    Op = PrimOp::RefNew;
+  else if (at(TokenKind::Bang))
+    Op = PrimOp::RefGet;
+  else
+    return parseAtom();
+  bump();
+  ExprId Arg = parsePrefix();
+  if (Failed)
+    return ExprId::invalid();
+  return M->makePrim(Loc, Op, {Arg});
+}
+
+ExprId ParserImpl::parseAtom() {
+  if (Failed)
+    return ExprId::invalid();
+  SourceLoc Loc = Tok.Loc;
+
+  switch (Tok.Kind) {
+  case TokenKind::Ident: {
+    Symbol Name = M->sym(Tok.Text);
+    VarId Var = lookupVar(Name);
+    if (!Var.isValid()) {
+      // Inside a letrec group this may be a forward reference to a later
+      // member; defer resolution to the group close.
+      if (!PendingGroups.empty()) {
+        bump();
+        ExprId Ref = M->makeVarRef(Loc, VarId::invalid());
+        PendingGroups.back().push_back({Ref, Name, Loc});
+        return Ref;
+      }
+      fail("unbound variable '" + std::string(Tok.Text) + "'");
+      return ExprId::invalid();
+    }
+    bump();
+    return M->makeVarRef(Loc, Var);
+  }
+  case TokenKind::UIdent: {
+    Symbol Name = M->sym(Tok.Text);
+    ConId Con = M->findCon(Name);
+    if (!Con.isValid()) {
+      fail("unknown constructor '" + std::string(Tok.Text) + "'");
+      return ExprId::invalid();
+    }
+    bump();
+    size_t Arity = M->con(Con).ArgTypes.size();
+    std::vector<ExprId> Args;
+    if (Arity != 0) {
+      expect(TokenKind::LParen, "'(' (constructor arguments)");
+      do {
+        Args.push_back(parseExpr());
+        if (Failed)
+          return ExprId::invalid();
+      } while (eat(TokenKind::Comma));
+      expect(TokenKind::RParen, "')'");
+      if (!Failed && Args.size() != Arity) {
+        fail("constructor '" + std::string(M->text(Name)) + "' expects " +
+             std::to_string(Arity) + " arguments");
+      }
+    }
+    if (Failed)
+      return ExprId::invalid();
+    return M->makeCon(Loc, Con, std::move(Args));
+  }
+  case TokenKind::Int: {
+    int64_t Value = Tok.IntValue;
+    bump();
+    return M->makeIntLit(Loc, Value);
+  }
+  case TokenKind::String: {
+    Symbol S = M->sym(Tok.Text);
+    bump();
+    return M->makeStringLit(Loc, S);
+  }
+  case TokenKind::KwTrue:
+    bump();
+    return M->makeBoolLit(Loc, true);
+  case TokenKind::KwFalse:
+    bump();
+    return M->makeBoolLit(Loc, false);
+  case TokenKind::KwUnit:
+    bump();
+    return M->makeUnitLit(Loc);
+  case TokenKind::Hash: {
+    bump();
+    if (!at(TokenKind::Int) || Tok.IntValue < 1) {
+      fail("expected a positive field index after '#'");
+      return ExprId::invalid();
+    }
+    uint32_t Index = static_cast<uint32_t>(Tok.IntValue - 1);
+    bump();
+    ExprId Tuple = parseAtom();
+    if (Failed)
+      return ExprId::invalid();
+    return M->makeProj(Loc, Index, Tuple);
+  }
+  case TokenKind::KwCase:
+    bump();
+    return parseCase(Loc);
+  case TokenKind::LParen:
+    bump();
+    return parseParenOrTuple(Loc);
+  default:
+    fail("expected an expression");
+    return ExprId::invalid();
+  }
+}
+
+ExprId ParserImpl::parseCase(SourceLoc Loc) {
+  ExprId Scrutinee = parseExpr();
+  expect(TokenKind::KwOf, "'of'");
+  std::vector<CaseArm> Arms;
+  do {
+    if (Failed)
+      return ExprId::invalid();
+    if (!at(TokenKind::UIdent)) {
+      fail("expected constructor pattern");
+      return ExprId::invalid();
+    }
+    Symbol ConName = M->sym(Tok.Text);
+    ConId Con = M->findCon(ConName);
+    if (!Con.isValid()) {
+      fail("unknown constructor '" + std::string(Tok.Text) + "'");
+      return ExprId::invalid();
+    }
+    bump();
+    size_t Arity = M->con(Con).ArgTypes.size();
+    std::vector<VarId> Binders;
+    std::vector<Symbol> BinderNames;
+    if (Arity != 0) {
+      expect(TokenKind::LParen, "'(' (pattern binders)");
+      do {
+        if (!at(TokenKind::Ident)) {
+          fail("expected binder name in pattern");
+          return ExprId::invalid();
+        }
+        Symbol B = M->sym(Tok.Text);
+        bump();
+        BinderNames.push_back(B);
+        Binders.push_back(bindVar(B));
+      } while (eat(TokenKind::Comma));
+      expect(TokenKind::RParen, "')'");
+      if (!Failed && Binders.size() != Arity)
+        fail("pattern for '" + std::string(M->text(ConName)) + "' expects " +
+             std::to_string(Arity) + " binders");
+    }
+    expect(TokenKind::FatArrow, "'=>'");
+    // Arm bodies admit full expressions: `|` cannot begin an operand and
+    // nested `case` is self-delimited by `end`, so there is no ambiguity.
+    ExprId Body = Failed ? ExprId::invalid() : parseExpr();
+    if (!Failed && !at(TokenKind::Pipe) && !at(TokenKind::KwEnd))
+      fail("expected '|' or 'end' after case arm");
+    for (size_t I = BinderNames.size(); I != 0; --I)
+      unbindVar(BinderNames[I - 1]);
+    if (Failed)
+      return ExprId::invalid();
+    Arms.push_back({Con, std::move(Binders), Body});
+  } while (eat(TokenKind::Pipe));
+  expect(TokenKind::KwEnd, "'end'");
+  if (Failed)
+    return ExprId::invalid();
+  return M->makeCase(Loc, Scrutinee, std::move(Arms));
+}
+
+ExprId ParserImpl::parseParenOrTuple(SourceLoc Loc) {
+  if (eat(TokenKind::RParen))
+    return M->makeUnitLit(Loc);
+  std::vector<ExprId> Elems;
+  do {
+    Elems.push_back(parseExpr());
+    if (Failed)
+      return ExprId::invalid();
+  } while (eat(TokenKind::Comma));
+  expect(TokenKind::RParen, "')'");
+  if (Failed)
+    return ExprId::invalid();
+  if (Elems.size() == 1)
+    return Elems[0];
+  return M->makeTuple(Loc, std::move(Elems));
+}
+
+// Case-arm body precedence note: arm bodies parse at `assign` level, so an
+// abstraction or `let` in an arm must be parenthesized — the printer
+// mirrors this.
+
+std::unique_ptr<Module> stcfa::parseProgram(std::string_view Source,
+                                            DiagnosticEngine &Diags) {
+  ParserImpl P(Source, Diags);
+  std::unique_ptr<Module> M = P.run();
+  if (Diags.hasErrors())
+    return nullptr;
+  return M;
+}

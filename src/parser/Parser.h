@@ -1,0 +1,63 @@
+//===-- parser/Parser.h - Recursive-descent parser --------------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing a scope-resolved `Module`.
+///
+/// Grammar (see README for the full description):
+///
+/// \code
+///   program  := item* expr
+///   item     := 'data' UIdent '=' conDef ('|' conDef)* ';'
+///             | ('let'|'letrec') ident '=' expr ';'
+///   conDef   := UIdent ('(' type (',' type)* ')')?
+///   type     := tyAtom ('->' type)?
+///   tyAtom   := 'Int' | 'Bool' | 'Unit' | 'String' | 'Ref' tyAtom
+///             | UIdent | '(' type (',' type)* ')'
+///   expr     := 'fn' ident '=>' expr
+///             | ('let'|'letrec') ident '=' expr 'in' expr
+///             | 'if' expr 'then' expr 'else' expr
+///             | assign
+///   assign   := compare (':=' assign)?
+///   compare  := add (('<'|'<='|'==') add)?
+///   add      := mul (('+'|'-') mul)*
+///   mul      := apps (('*'|'/') apps)*
+///   apps     := prefix+
+///   prefix   := ('not'|'print'|'ref'|'!') prefix | atom
+///   atom     := ident | UIdent ('(' expr (',' expr)* ')')?
+///             | INT | STRING | 'true' | 'false' | 'unit' | '(' ')'
+///             | '#' INT atom | '(' expr (',' expr)* ')'
+///             | 'case' expr 'of' arm ('|' arm)* 'end'
+///   arm      := UIdent ('(' ident (',' ident)* ')')? '=>' expr
+/// \endcode
+///
+/// Scope resolution happens during parsing; variables must be bound,
+/// constructors declared (with matching arity), and `letrec` initializers
+/// must be abstractions.  Datatype names may be referenced before their
+/// declaration; unresolved names are reported after the whole program is
+/// parsed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_PARSER_PARSER_H
+#define STCFA_PARSER_PARSER_H
+
+#include "ast/Module.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string_view>
+
+namespace stcfa {
+
+/// Parses \p Source into a fresh module.  Returns nullptr (with diagnostics
+/// in \p Diags) on any error.
+std::unique_ptr<Module> parseProgram(std::string_view Source,
+                                     DiagnosticEngine &Diags);
+
+} // namespace stcfa
+
+#endif // STCFA_PARSER_PARSER_H

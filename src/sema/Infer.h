@@ -1,0 +1,60 @@
+//===-- sema/Infer.h - Hindley-Milner type inference ------------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hindley–Milner inference with let-polymorphism (Rémy-style levels).
+///
+/// The subtransitive algorithm never consults types (Section 4 of the
+/// paper), but the reproduction infers them to (a) reject ill-typed
+/// programs, for which the termination guarantee does not hold, (b) record
+/// the *instantiated monotype of every expression occurrence* — exactly the
+/// monotypes of the paper's let-expansion argument (Section 5), which drive
+/// the `k_avg` statistics and the Section 6 datatype congruences — and
+/// (c) support the bounded-type program classes used in the benchmarks.
+///
+/// Mutable references use the standard ML value restriction, specialised
+/// to this grammar: `ref e` is only generalised when `e` is a value.
+/// Equality is restricted to `Int`.  Projections `#j e` require the tuple
+/// type of `e` to be determined at the point of checking (no row
+/// polymorphism); in practice this means projections of
+/// lambda-bound tuples need the tuple constructed first or an annotation
+/// via usage, which all our corpora satisfy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_SEMA_INFER_H
+#define STCFA_SEMA_INFER_H
+
+#include "ast/Module.h"
+#include "support/Diagnostics.h"
+
+namespace stcfa {
+
+/// Runs type inference over \p M, annotating every expression occurrence
+/// with its resolved monotype (`Expr::type()`).  Returns false and records
+/// diagnostics in \p Diags on type errors.
+bool inferTypes(Module &M, DiagnosticEngine &Diags);
+
+/// Aggregate type-size statistics over all expression occurrences; the
+/// paper's bounded-type parameters (Sections 4 and 10).
+struct TypeMetrics {
+  /// Largest type tree among occurrences (the bound `k`).
+  uint32_t MaxTypeSize = 0;
+  /// Mean type-tree size (the paper's `k_avg`, reported as "typically
+  /// around 2 or 3").
+  double AvgTypeSize = 0.0;
+  /// Largest order (funarg depth) among occurrence types.
+  uint32_t MaxOrder = 0;
+  /// Largest curried arity among occurrence types.
+  uint32_t MaxArity = 0;
+};
+
+/// Computes metrics over a type-annotated module (run `inferTypes` first).
+TypeMetrics computeTypeMetrics(const Module &M);
+
+} // namespace stcfa
+
+#endif // STCFA_SEMA_INFER_H

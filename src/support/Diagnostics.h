@@ -1,0 +1,68 @@
+//===-- support/Diagnostics.h - Source locations and errors -----*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations plus an error sink shared by the lexer, parser, scope
+/// resolver, and type checker.  The project does not use exceptions; every
+/// front-end stage records diagnostics here and callers check `hasErrors`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_SUPPORT_DIAGNOSTICS_H
+#define STCFA_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stcfa {
+
+/// A 1-based line/column position in a source buffer.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+/// One reported problem.
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics across front-end stages.
+class DiagnosticEngine {
+public:
+  /// Records an error at \p Loc.
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as `line:col: message` lines.
+  std::string render() const {
+    std::string Out;
+    for (const Diagnostic &D : Diags) {
+      Out += std::to_string(D.Loc.Line) + ":" + std::to_string(D.Loc.Col) +
+             ": " + D.Message + "\n";
+    }
+    return Out;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace stcfa
+
+#endif // STCFA_SUPPORT_DIAGNOSTICS_H

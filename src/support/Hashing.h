@@ -1,0 +1,169 @@
+//===-- support/Hashing.h - Hash utilities and u64 hash set -----*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash combining plus a compact open-addressing set of non-zero 64-bit
+/// keys.  The subtransitive graph stores each edge as a packed
+/// `(source << 32) | target` key; edge deduplication is the hottest
+/// operation in the close phase, so it gets a dedicated structure instead
+/// of `std::unordered_set`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_SUPPORT_HASHING_H
+#define STCFA_SUPPORT_HASHING_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stcfa {
+
+/// Mixes \p X with an avalanching finalizer (splitmix64 style).
+inline uint64_t hashU64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Combines two hash values.
+inline uint64_t hashCombine(uint64_t A, uint64_t B) {
+  return hashU64(A ^ (B + 0x9e3779b97f4a7c15ULL + (A << 6) + (A >> 2)));
+}
+
+/// Open-addressing hash set of *non-zero* 64-bit keys.
+///
+/// Key 0 is reserved as the empty-slot marker; callers must bias their keys
+/// so that 0 never occurs (edge keys add 1 to each endpoint).
+class U64Set {
+public:
+  U64Set() : Slots(InitialCapacity, 0) {}
+
+  /// Inserts \p Key; returns true iff it was not already present.
+  bool insert(uint64_t Key) {
+    assert(Key != 0 && "key 0 is reserved");
+    if ((Count + 1) * 4 >= Slots.size() * 3)
+      grow();
+    size_t Mask = Slots.size() - 1;
+    size_t I = static_cast<size_t>(hashU64(Key)) & Mask;
+    while (Slots[I] != 0) {
+      if (Slots[I] == Key)
+        return false;
+      I = (I + 1) & Mask;
+    }
+    Slots[I] = Key;
+    ++Count;
+    return true;
+  }
+
+  /// True iff \p Key is present.
+  bool contains(uint64_t Key) const {
+    assert(Key != 0 && "key 0 is reserved");
+    size_t Mask = Slots.size() - 1;
+    size_t I = static_cast<size_t>(hashU64(Key)) & Mask;
+    while (Slots[I] != 0) {
+      if (Slots[I] == Key)
+        return true;
+      I = (I + 1) & Mask;
+    }
+    return false;
+  }
+
+  /// Number of stored keys.
+  size_t size() const { return Count; }
+
+private:
+  static constexpr size_t InitialCapacity = 64;
+
+  void grow() {
+    std::vector<uint64_t> Old = std::move(Slots);
+    Slots.assign(Old.size() * 2, 0);
+    size_t Mask = Slots.size() - 1;
+    for (uint64_t Key : Old) {
+      if (Key == 0)
+        continue;
+      size_t I = static_cast<size_t>(hashU64(Key)) & Mask;
+      while (Slots[I] != 0)
+        I = (I + 1) & Mask;
+      Slots[I] = Key;
+    }
+  }
+
+  std::vector<uint64_t> Slots;
+  size_t Count = 0;
+};
+
+/// Open-addressing hash map from *non-zero* 64-bit keys to 32-bit values.
+/// Same conventions as `U64Set`; used for node hash-consing where
+/// `std::unordered_map` overhead would dominate graph construction.
+class U64Map {
+public:
+  U64Map() : Keys(InitialCapacity, 0), Values(InitialCapacity, 0) {}
+
+  /// Returns the slot for \p Key, inserting \p Fallback if absent.
+  /// The reference stays valid until the next insertion.
+  uint32_t &lookupOrInsert(uint64_t Key, uint32_t Fallback) {
+    assert(Key != 0 && "key 0 is reserved");
+    if ((Count + 1) * 4 >= Keys.size() * 3)
+      grow();
+    size_t Mask = Keys.size() - 1;
+    size_t I = static_cast<size_t>(hashU64(Key)) & Mask;
+    while (Keys[I] != 0) {
+      if (Keys[I] == Key)
+        return Values[I];
+      I = (I + 1) & Mask;
+    }
+    Keys[I] = Key;
+    Values[I] = Fallback;
+    ++Count;
+    return Values[I];
+  }
+
+  /// Returns the value for \p Key or \p Default when absent.
+  uint32_t lookup(uint64_t Key, uint32_t Default) const {
+    assert(Key != 0 && "key 0 is reserved");
+    size_t Mask = Keys.size() - 1;
+    size_t I = static_cast<size_t>(hashU64(Key)) & Mask;
+    while (Keys[I] != 0) {
+      if (Keys[I] == Key)
+        return Values[I];
+      I = (I + 1) & Mask;
+    }
+    return Default;
+  }
+
+  size_t size() const { return Count; }
+
+private:
+  static constexpr size_t InitialCapacity = 64;
+
+  void grow() {
+    std::vector<uint64_t> OldKeys = std::move(Keys);
+    std::vector<uint32_t> OldValues = std::move(Values);
+    Keys.assign(OldKeys.size() * 2, 0);
+    Values.assign(OldValues.size() * 2, 0);
+    size_t Mask = Keys.size() - 1;
+    for (size_t S = 0; S != OldKeys.size(); ++S) {
+      if (OldKeys[S] == 0)
+        continue;
+      size_t I = static_cast<size_t>(hashU64(OldKeys[S])) & Mask;
+      while (Keys[I] != 0)
+        I = (I + 1) & Mask;
+      Keys[I] = OldKeys[S];
+      Values[I] = OldValues[S];
+    }
+  }
+
+  std::vector<uint64_t> Keys;
+  std::vector<uint32_t> Values;
+  size_t Count = 0;
+};
+
+} // namespace stcfa
+
+#endif // STCFA_SUPPORT_HASHING_H

@@ -1,0 +1,91 @@
+//===-- support/Ids.h - Strongly typed dense identifiers --------*- C++ -*-===//
+//
+// Part of the stcfa project: a reproduction of Heintze & McAllester,
+// "Linear-time Subtransitive Control Flow Analysis", PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed wrappers around dense `uint32_t` indices.  Every entity in
+/// the system (expressions, variables, labels, graph nodes, types, ...) is
+/// identified by a dense index into a per-module table; the `Id<Tag>`
+/// template prevents accidentally mixing index spaces while keeping the
+/// zero-cost representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_SUPPORT_IDS_H
+#define STCFA_SUPPORT_IDS_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace stcfa {
+
+/// A strongly typed dense identifier.
+///
+/// `Tag` is an arbitrary (usually incomplete) type used only to distinguish
+/// index spaces at compile time.  The value `~0u` is reserved as the invalid
+/// sentinel, available via `Id::invalid()`.
+template <typename Tag> class Id {
+public:
+  constexpr Id() : Value(Sentinel) {}
+  constexpr explicit Id(uint32_t V) : Value(V) { assert(V != Sentinel); }
+
+  /// Returns the reserved invalid identifier.
+  static constexpr Id invalid() { return Id(SentinelInit{}); }
+
+  /// True unless this is the invalid sentinel.
+  constexpr bool isValid() const { return Value != Sentinel; }
+
+  /// Returns the raw index; must not be called on the invalid sentinel.
+  constexpr uint32_t index() const {
+    assert(isValid() && "indexing an invalid Id");
+    return Value;
+  }
+
+  friend constexpr bool operator==(Id A, Id B) { return A.Value == B.Value; }
+  friend constexpr bool operator!=(Id A, Id B) { return A.Value != B.Value; }
+  friend constexpr bool operator<(Id A, Id B) { return A.Value < B.Value; }
+
+private:
+  struct SentinelInit {};
+  constexpr explicit Id(SentinelInit) : Value(Sentinel) {}
+
+  static constexpr uint32_t Sentinel = std::numeric_limits<uint32_t>::max();
+  uint32_t Value;
+};
+
+struct ExprTag;
+struct VarTag;
+struct LabelTag;
+struct TypeTag;
+struct NodeTag;
+struct ConTag;
+
+/// Identifies an expression occurrence within a `Module`.
+using ExprId = Id<ExprTag>;
+/// Identifies a variable binder within a `Module`.
+using VarId = Id<VarTag>;
+/// Identifies an abstraction label (one per `fn`).
+using LabelId = Id<LabelTag>;
+/// Identifies an interned type within a `TypeTable`.
+using TypeId = Id<TypeTag>;
+/// Identifies a node of the subtransitive graph.
+using NodeId = Id<NodeTag>;
+/// Identifies a data constructor within a `Module`.
+using ConId = Id<ConTag>;
+
+} // namespace stcfa
+
+namespace std {
+template <typename Tag> struct hash<stcfa::Id<Tag>> {
+  size_t operator()(stcfa::Id<Tag> V) const {
+    return V.isValid() ? static_cast<size_t>(V.index()) + 1 : 0;
+  }
+};
+} // namespace std
+
+#endif // STCFA_SUPPORT_IDS_H

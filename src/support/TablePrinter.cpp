@@ -1,0 +1,71 @@
+//===-- support/TablePrinter.cpp - Aligned text tables --------------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace stcfa;
+
+TablePrinter::TablePrinter(std::vector<std::string> Columns) {
+  Rows.push_back(std::move(Columns));
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Rows.front().size() && "row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<size_t> Widths(Rows.front().size(), 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  std::string Out;
+  auto emitRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C)
+        Out += "  ";
+      // Right-align everything but the first column; the first column is
+      // typically a name.
+      size_t Pad = Widths[C] - Row[C].size();
+      if (C == 0) {
+        Out += Row[C];
+        Out.append(Pad, ' ');
+      } else {
+        Out.append(Pad, ' ');
+        Out += Row[C];
+      }
+    }
+    Out += '\n';
+  };
+
+  emitRow(Rows.front());
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total - 2, '-');
+  Out += '\n';
+  for (size_t R = 1; R != Rows.size(); ++R)
+    emitRow(Rows[R]);
+  return Out;
+}
+
+std::string TablePrinter::num(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string TablePrinter::num(uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}

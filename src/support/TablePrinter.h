@@ -1,0 +1,46 @@
+//===-- support/TablePrinter.h - Aligned text tables ------------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aligned plain-text tables.  The benchmark binaries use this to
+/// print paper-style result tables (Tables 1 and 2 and the Section 2
+/// complexity table) next to the raw google-benchmark output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_SUPPORT_TABLEPRINTER_H
+#define STCFA_SUPPORT_TABLEPRINTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stcfa {
+
+/// Collects rows of cells and prints them with aligned columns.
+class TablePrinter {
+public:
+  /// Creates a table whose first row is the header \p Columns.
+  explicit TablePrinter(std::vector<std::string> Columns);
+
+  /// Appends a data row; it must have as many cells as the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (header, separator, rows) as a string.
+  std::string render() const;
+
+  /// Formats a double with \p Precision fractional digits.
+  static std::string num(double Value, int Precision = 3);
+  /// Formats an integer count.
+  static std::string num(uint64_t Value);
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace stcfa
+
+#endif // STCFA_SUPPORT_TABLEPRINTER_H

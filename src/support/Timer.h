@@ -1,0 +1,44 @@
+//===-- support/Timer.h - Wall-clock timing helpers -------------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer used by the benchmark harnesses to report
+/// per-phase times (build phase vs. close phase vs. query phase), mirroring
+/// the columns of the paper's Tables 1 and 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_SUPPORT_TIMER_H
+#define STCFA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace stcfa {
+
+/// Measures elapsed wall-clock time from construction (or `reset`).
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last `reset`.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last `reset`.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace stcfa
+
+#endif // STCFA_SUPPORT_TIMER_H

@@ -1,0 +1,132 @@
+//===-- types/Type.h - Hash-consed monotypes --------------------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consed monotypes.  The subtransitive algorithm itself never looks
+/// at types (Section 4: "the algorithm only needs to know that the types
+/// exist"), but the reproduction needs them for three things:
+///
+///   1. defining and *measuring* the bounded-type classes (type-tree size,
+///      order, arity — the `k` and `k_avg` of Sections 1, 4 and 10),
+///   2. the datatype congruences ≈1 and ≈2 of Section 6, which merge graph
+///      nodes whose associated type is the same datatype, and
+///   3. rejecting ill-typed inputs, since the termination guarantee only
+///      holds for typed programs.
+///
+/// Types are interned in a `TypeTable`, so `TypeId` equality is type
+/// equality.  Type variables are represented structurally (`Var k`); the
+/// Hindley–Milner inference in `sema/Infer.h` layers a union-find binding
+/// table over the variable indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_TYPES_TYPE_H
+#define STCFA_TYPES_TYPE_H
+
+#include "support/Hashing.h"
+#include "support/Ids.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace stcfa {
+
+enum class TypeKind : uint8_t {
+  Int,
+  Bool,
+  Unit,
+  String,
+  Var,   // unification variable / generalised type parameter
+  Arrow, // T1 -> T2
+  Tuple, // (T1, ..., Tn), n >= 2
+  Data,  // named datatype
+  Ref,   // mutable cell
+};
+
+/// One interned type node.
+struct Type {
+  TypeKind Kind;
+  /// Var: variable number.  Arrow: unused.  Tuple: unused.  Data: unused.
+  uint32_t VarNum = 0;
+  /// Data: the datatype name.
+  Symbol Name;
+  /// Arrow: {param, result}.  Tuple: the fields.  Ref: {content}.
+  std::vector<TypeId> Args;
+};
+
+/// Interns types; owned by a `Module`.
+class TypeTable {
+public:
+  TypeTable() {
+    IntTy = get({TypeKind::Int, 0, Symbol(), {}});
+    BoolTy = get({TypeKind::Bool, 0, Symbol(), {}});
+    UnitTy = get({TypeKind::Unit, 0, Symbol(), {}});
+    StringTy = get({TypeKind::String, 0, Symbol(), {}});
+  }
+
+  TypeId intType() const { return IntTy; }
+  TypeId boolType() const { return BoolTy; }
+  TypeId unitType() const { return UnitTy; }
+  TypeId stringType() const { return StringTy; }
+
+  TypeId varType(uint32_t VarNum) {
+    return get({TypeKind::Var, VarNum, Symbol(), {}});
+  }
+  TypeId arrowType(TypeId Param, TypeId Result) {
+    return get({TypeKind::Arrow, 0, Symbol(), {Param, Result}});
+  }
+  TypeId tupleType(std::vector<TypeId> Fields) {
+    assert(Fields.size() >= 2 && "tuple types have at least two fields");
+    return get({TypeKind::Tuple, 0, Symbol(), std::move(Fields)});
+  }
+  TypeId dataType(Symbol Name) {
+    return get({TypeKind::Data, 0, Name, {}});
+  }
+  TypeId refType(TypeId Content) {
+    return get({TypeKind::Ref, 0, Symbol(), {Content}});
+  }
+
+  const Type &type(TypeId Id) const {
+    assert(Id.isValid() && Id.index() < Nodes.size() && "bad type id");
+    return Nodes[Id.index()];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Nodes.size()); }
+
+  /// Tree size of the type (number of nodes, counting `Data` leaves as 1).
+  /// This is the paper's type-size measure for the bounded-type classes.
+  uint32_t treeSize(TypeId Id) const;
+
+  /// Order: base types and datatypes have order 0; an arrow's order is
+  /// `max(order(param) + 1, order(result))`; tuples/refs take the max of
+  /// their fields.
+  uint32_t order(TypeId Id) const;
+
+  /// Arity under the paper's currying convention: the number of arrows on
+  /// the result spine (`Int -> Int -> Int` has arity 2).
+  uint32_t arity(TypeId Id) const;
+
+  /// Renders the type as source syntax (`(Int -> Bool, IntList)`).
+  std::string render(TypeId Id, const StringInterner &Strings) const;
+
+private:
+  TypeId get(Type T);
+  uint64_t hashType(const Type &T) const;
+  /// Like `render`, but parenthesizes arrows and refs so the result can be
+  /// embedded on the left of `->`.
+  std::string renderAtom(TypeId Id, const StringInterner &Strings) const;
+
+  std::vector<Type> Nodes;
+  std::unordered_map<uint64_t, std::vector<TypeId>> Buckets;
+  TypeId IntTy, BoolTy, UnitTy, StringTy;
+};
+
+} // namespace stcfa
+
+#endif // STCFA_TYPES_TYPE_H

@@ -1,0 +1,222 @@
+//===-- unify/UnificationCFA.cpp - Equality-based flow analysis -----------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "unify/UnificationCFA.h"
+
+#include <algorithm>
+
+using namespace stcfa;
+
+namespace {
+
+// Field tags on flow classes.
+constexpr uint64_t TagDom = 1;
+constexpr uint64_t TagRan = 2;
+constexpr uint64_t TagRefCell = 3;
+
+uint64_t tupleTag(uint32_t Index) { return 0x100 + Index; }
+uint64_t conTag(ConId Con, uint32_t Index) {
+  return (uint64_t(Con.index() + 1) << 32) | Index;
+}
+
+} // namespace
+
+UnificationCFA::UnificationCFA(const Module &M) : M(M) {
+  uint32_t N = M.numExprs() + M.numVars();
+  Parent.resize(N);
+  for (uint32_t I = 0; I != N; ++I)
+    Parent[I] = I;
+  Rank.assign(N, 0);
+  Labels.resize(N);
+  Fields.resize(N);
+}
+
+uint32_t UnificationCFA::freshVar() {
+  uint32_t V = static_cast<uint32_t>(Parent.size());
+  Parent.push_back(V);
+  Rank.push_back(0);
+  Labels.emplace_back();
+  Fields.emplace_back();
+  return V;
+}
+
+uint32_t UnificationCFA::find(uint32_t V) {
+  while (Parent[V] != V) {
+    Parent[V] = Parent[Parent[V]]; // path halving
+    V = Parent[V];
+  }
+  return V;
+}
+
+void UnificationCFA::unite(uint32_t A, uint32_t B) {
+  Pending.emplace_back(A, B);
+}
+
+void UnificationCFA::processPending() {
+  while (!Pending.empty()) {
+    auto [A, B] = Pending.back();
+    Pending.pop_back();
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      continue;
+    ++Unions;
+    if (Rank[A] < Rank[B])
+      std::swap(A, B);
+    if (Rank[A] == Rank[B])
+      ++Rank[A];
+    // B merges into A.
+    Parent[B] = A;
+    // Merge labels.
+    if (Labels[A].size() < Labels[B].size())
+      Labels[A].swap(Labels[B]);
+    Labels[A].insert(Labels[A].end(), Labels[B].begin(), Labels[B].end());
+    Labels[B].clear();
+    Labels[B].shrink_to_fit();
+    // Merge structure; shared fields unify recursively.
+    if (Fields[A].size() < Fields[B].size())
+      Fields[A].swap(Fields[B]);
+    for (auto &[Tag, Var] : Fields[B]) {
+      auto [It, Inserted] = Fields[A].emplace(Tag, Var);
+      if (!Inserted)
+        Pending.emplace_back(It->second, Var);
+    }
+    Fields[B].clear();
+  }
+}
+
+uint32_t UnificationCFA::fieldOf(uint32_t V, uint64_t Tag) {
+  uint32_t Root = find(V);
+  auto It = Fields[Root].find(Tag);
+  if (It != Fields[Root].end())
+    return It->second;
+  uint32_t Fresh = freshVar();
+  Fields[Root].emplace(Tag, Fresh);
+  return Fresh;
+}
+
+void UnificationCFA::run() {
+  assert(!HasRun && "run() called twice");
+  HasRun = true;
+
+  forEachExprPreorder(M, M.root(), [&](ExprId Id, const Expr *E) {
+    uint32_t Self = varOfExpr(Id);
+    switch (E->kind()) {
+    case ExprKind::Var:
+      unite(Self, varOfBinder(cast<VarExpr>(E)->var()));
+      break;
+    case ExprKind::Lam: {
+      const auto *L = cast<LamExpr>(E);
+      Labels[find(Self)].push_back(L->label().index());
+      unite(fieldOf(Self, TagDom), varOfBinder(L->param()));
+      unite(fieldOf(Self, TagRan), varOfExpr(L->body()));
+      break;
+    }
+    case ExprKind::App: {
+      const auto *A = cast<AppExpr>(E);
+      unite(fieldOf(varOfExpr(A->fn()), TagDom), varOfExpr(A->arg()));
+      unite(fieldOf(varOfExpr(A->fn()), TagRan), Self);
+      break;
+    }
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      unite(varOfBinder(L->var()), varOfExpr(L->init()));
+      unite(Self, varOfExpr(L->body()));
+      break;
+    }
+    case ExprKind::LetRecN: {
+      const auto *L = cast<LetRecNExpr>(E);
+      for (const LetRecNExpr::Binding &B : L->bindings())
+        unite(varOfBinder(B.Var), varOfExpr(B.Init));
+      unite(Self, varOfExpr(L->body()));
+      break;
+    }
+    case ExprKind::Lit:
+      break;
+    case ExprKind::If: {
+      const auto *I = cast<IfExpr>(E);
+      unite(Self, varOfExpr(I->thenExpr()));
+      unite(Self, varOfExpr(I->elseExpr()));
+      break;
+    }
+    case ExprKind::Tuple: {
+      const auto *T = cast<TupleExpr>(E);
+      for (uint32_t I = 0; I != T->elems().size(); ++I)
+        unite(fieldOf(Self, tupleTag(I)), varOfExpr(T->elems()[I]));
+      break;
+    }
+    case ExprKind::Proj: {
+      const auto *P = cast<ProjExpr>(E);
+      unite(Self, fieldOf(varOfExpr(P->tuple()), tupleTag(P->index())));
+      break;
+    }
+    case ExprKind::Con: {
+      const auto *C = cast<ConExpr>(E);
+      for (uint32_t I = 0; I != C->args().size(); ++I)
+        unite(fieldOf(Self, conTag(C->con(), I)), varOfExpr(C->args()[I]));
+      break;
+    }
+    case ExprKind::Case: {
+      const auto *C = cast<CaseExpr>(E);
+      uint32_t Scrut = varOfExpr(C->scrutinee());
+      for (const CaseArm &Arm : C->arms()) {
+        for (uint32_t I = 0; I != Arm.Binders.size(); ++I)
+          unite(varOfBinder(Arm.Binders[I]),
+                fieldOf(Scrut, conTag(Arm.Con, I)));
+        unite(Self, varOfExpr(Arm.Body));
+      }
+      break;
+    }
+    case ExprKind::Prim: {
+      const auto *P = cast<PrimExpr>(E);
+      switch (P->op()) {
+      case PrimOp::RefNew:
+        unite(fieldOf(Self, TagRefCell), varOfExpr(P->args()[0]));
+        break;
+      case PrimOp::RefGet:
+        unite(Self, fieldOf(varOfExpr(P->args()[0]), TagRefCell));
+        break;
+      case PrimOp::RefSet:
+        unite(fieldOf(varOfExpr(P->args()[0]), TagRefCell),
+              varOfExpr(P->args()[1]));
+        break;
+      default:
+        break;
+      }
+      break;
+    }
+    }
+    processPending();
+  });
+}
+
+DenseBitset UnificationCFA::labelSet(ExprId E) const {
+  assert(HasRun && "query before run()");
+  // find() is logically const (path compression only).
+  uint32_t Root = const_cast<UnificationCFA *>(this)->find(varOfExpr(E));
+  DenseBitset Out(M.numLabels());
+  for (uint32_t L : Labels[Root])
+    Out.insert(L);
+  return Out;
+}
+
+DenseBitset UnificationCFA::labelSetOfVar(VarId V) const {
+  assert(HasRun && "query before run()");
+  uint32_t Root = const_cast<UnificationCFA *>(this)->find(varOfBinder(V));
+  DenseBitset Out(M.numLabels());
+  for (uint32_t L : Labels[Root])
+    Out.insert(L);
+  return Out;
+}
+
+uint32_t UnificationCFA::numClasses() const {
+  auto *Self = const_cast<UnificationCFA *>(this);
+  uint32_t Count = 0;
+  for (uint32_t I = 0; I != Parent.size(); ++I)
+    if (Self->find(I) == I)
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,86 @@
+//===-- tests/TestUtil.h - Shared test helpers ------------------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_TESTS_TESTUTIL_H
+#define STCFA_TESTS_TESTUTIL_H
+
+#include "ast/Module.h"
+#include "parser/Parser.h"
+#include "sema/Infer.h"
+
+#include "gtest/gtest.h"
+
+#include <memory>
+#include <string>
+
+namespace stcfa {
+
+/// Parses \p Source; fails the current test on parse errors.
+inline std::unique_ptr<Module> parseOrDie(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = parseProgram(Source, Diags);
+  EXPECT_TRUE(M != nullptr) << "parse failed:\n" << Diags.render();
+  return M;
+}
+
+/// Parses and type-checks \p Source; fails the test on any error.
+inline std::unique_ptr<Module> parseAndInfer(std::string_view Source) {
+  std::unique_ptr<Module> M = parseOrDie(Source);
+  if (!M)
+    return nullptr;
+  DiagnosticEngine Diags;
+  bool Ok = inferTypes(*M, Diags);
+  EXPECT_TRUE(Ok) << "type inference failed:\n" << Diags.render();
+  return Ok ? std::move(M) : nullptr;
+}
+
+/// Parses \p Source and *attempts* inference, tolerating type errors: the
+/// subtransitive algorithm itself never needs types (paper, Section 4), so
+/// analyses must work on untypeable programs like the paper's Section 3
+/// self-application example.
+inline std::unique_ptr<Module> parseMaybeInfer(std::string_view Source) {
+  std::unique_ptr<Module> M = parseOrDie(Source);
+  if (!M)
+    return nullptr;
+  DiagnosticEngine Diags;
+  (void)inferTypes(*M, Diags);
+  return M;
+}
+
+/// Finds the unique `fn` whose parameter is named \p Param; fails if absent
+/// or ambiguous.  Handy for addressing abstractions in test programs.
+inline LabelId labelOfFnWithParam(const Module &M, std::string_view Param) {
+  LabelId Found = LabelId::invalid();
+  int Count = 0;
+  for (uint32_t L = 0; L != M.numLabels(); ++L) {
+    const auto *Lam = cast<LamExpr>(M.expr(M.lamOfLabel(LabelId(L))));
+    if (M.text(M.var(Lam->param()).Name) == Param) {
+      Found = LabelId(L);
+      ++Count;
+    }
+  }
+  EXPECT_EQ(Count, 1) << "fn with parameter '" << Param
+                      << "' absent or ambiguous";
+  return Found;
+}
+
+/// Finds the binder VarId for the unique variable named \p Name.
+inline VarId varNamed(const Module &M, std::string_view Name) {
+  VarId Found = VarId::invalid();
+  int Count = 0;
+  for (uint32_t V = 0; V != M.numVars(); ++V) {
+    if (M.text(M.var(VarId(V)).Name) == Name) {
+      Found = VarId(V);
+      ++Count;
+    }
+  }
+  EXPECT_EQ(Count, 1) << "variable '" << Name << "' absent or ambiguous";
+  return Found;
+}
+
+} // namespace stcfa
+
+#endif // STCFA_TESTS_TESTUTIL_H

@@ -1,0 +1,250 @@
+//===-- tests/core_graph_test.cpp - Subtransitive graph structure ---------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/Reachability.h"
+#include "gen/Generators.h"
+
+#include <set>
+#include <string>
+
+using namespace stcfa;
+
+namespace {
+
+SubtransitiveConfig exact() {
+  SubtransitiveConfig C;
+  C.Congruence = CongruenceMode::None;
+  return C;
+}
+
+bool hasEdge(const SubtransitiveGraph &G, NodeId A, NodeId B) {
+  for (NodeId S : G.succs(A))
+    if (S == B)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// The build-phase rules, edge by edge (the paper's Section 3 derivation)
+//===----------------------------------------------------------------------===//
+
+TEST(GraphStructure, PaperBuildEdges) {
+  // (fn x => x x) (fn y => y): the first four rule applications of the
+  // Section 3 LC example.
+  auto M = parseMaybeInfer("(fn x => x x) (fn y => y)");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exact());
+  G.build();
+
+  const auto *App = cast<AppExpr>(M->expr(M->root()));
+  NodeId LamX = G.exprNode(App->fn());
+  NodeId LamY = G.exprNode(App->arg());
+  const auto *LX = cast<LamExpr>(M->expr(App->fn()));
+  NodeId VarX = G.varNode(LX->param());
+
+  // ABS-1: x -> dom(fn x => ...), for both abstractions.
+  EXPECT_TRUE(hasEdge(G, VarX, G.domNode(LamX)));
+  // ABS-2: ran(fn x => ...) -> (x x).
+  EXPECT_TRUE(hasEdge(G, G.ranNode(LamX), G.exprNode(LX->body())));
+  // APP-1: dom(e1) -> e2 for the outer application.
+  EXPECT_TRUE(hasEdge(G, G.domNode(LamX), LamY));
+  // APP-2: (e1 e2) -> ran(e1).
+  EXPECT_TRUE(hasEdge(G, G.exprNode(M->root()), G.ranNode(LamX)));
+}
+
+TEST(GraphStructure, PaperCloseDerivation) {
+  // After closing, the whole application must reach fn y => y through a
+  // multi-step chain (Proposition 1's factored derivation).
+  auto M = parseMaybeInfer("(fn x => x x) (fn y => y)");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exact());
+  G.build();
+  uint64_t BuildEdges = G.stats().BuildEdges;
+  G.close();
+  EXPECT_GT(G.stats().CloseEdges, 0u);
+  EXPECT_EQ(G.stats().BuildEdges, BuildEdges) << "build count frozen";
+
+  Reachability R(G);
+  EXPECT_TRUE(R.isLabelIn(M->root(), labelOfFnWithParam(*M, "y")));
+  // But there is NO direct edge root -> fn y (it is genuinely
+  // subtransitive: only the closure's multi-step path connects them).
+  const auto *App = cast<AppExpr>(M->expr(M->root()));
+  EXPECT_FALSE(hasEdge(G, G.exprNode(M->root()), G.exprNode(App->arg())));
+}
+
+TEST(GraphStructure, BuildIsLinearPass) {
+  // Build-phase node and edge counts grow linearly in program size.
+  auto M1 = parseMaybeInfer(makeCubicFamily(8));
+  auto M2 = parseMaybeInfer(makeCubicFamily(16));
+  ASSERT_TRUE(M1 && M2);
+  SubtransitiveGraph G1(*M1, exact()), G2(*M2, exact());
+  G1.build();
+  G2.build();
+  double NodeRatio =
+      double(G2.stats().BuildNodes) / double(G1.stats().BuildNodes);
+  EXPECT_NEAR(NodeRatio, 2.0, 0.25);
+}
+
+TEST(GraphStructure, DescribeRendersPaths) {
+  auto M = parseMaybeInfer("fn x => x");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exact());
+  G.build();
+  NodeId Lam = G.exprNode(M->root());
+  EXPECT_EQ(G.describe(G.domNode(Lam)).substr(0, 4), "dom(");
+  EXPECT_EQ(G.describe(G.ranNode(Lam)).substr(0, 4), "ran(");
+  const auto *LX = cast<LamExpr>(M->expr(M->root()));
+  EXPECT_EQ(G.describe(G.varNode(LX->param())), "var:x");
+}
+
+TEST(GraphStructure, DerivedNodesAreHashConsed) {
+  auto M = parseMaybeInfer("fn x => x");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exact());
+  G.build();
+  NodeId Lam = G.exprNode(M->root());
+  EXPECT_EQ(G.domNode(Lam), G.domNode(Lam));
+  EXPECT_NE(G.domNode(Lam), G.ranNode(Lam));
+  EXPECT_EQ(G.lookupDerived(NodeOp::Dom, Lam), G.domNode(Lam));
+}
+
+TEST(GraphStructure, EdgesAreDeduplicated) {
+  auto M = parseMaybeInfer("fn x => x");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exact());
+  G.build();
+  NodeId A = G.exprNode(M->root());
+  NodeId B = G.labelNode(LabelId(0));
+  uint64_t Before = G.stats().BuildEdges;
+  G.addEdge(A, B);
+  G.addEdge(A, B);
+  G.addEdge(A, A); // self edges are dropped
+  EXPECT_EQ(G.stats().BuildEdges, Before + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Widening
+//===----------------------------------------------------------------------===//
+
+TEST(GraphStructure, WideningKeepsLabelSoundness) {
+  // Recursive datatype + recursive traversal with a tiny depth budget:
+  // widening must engage and the result must still contain the truth.
+  const char *Source =
+      "data FList = FNil | FCons(Int -> Int, FList);\n"
+      "letrec nth = fn l => fn n => case l of "
+      "FNil => (fn z => z) | FCons(h, t) => if n == 0 then h else "
+      "nth t (n - 1) end in "
+      "(nth (FCons(fn a => a + 1, FNil)) 0) 5";
+  auto M = parseMaybeInfer(Source);
+  ASSERT_TRUE(M);
+  SubtransitiveConfig C = exact();
+  C.MaxNodeDepth = 3;
+  SubtransitiveGraph G(*M, C);
+  G.build();
+  G.close();
+  EXPECT_GT(G.stats().Widenings, 0u);
+  Reachability R(G);
+  // The dynamic truth: `nth ... 0` evaluates to fn a => a + 1, so the
+  // operator of the outermost application must see that label.
+  const auto *Let = cast<LetExpr>(M->expr(M->root()));
+  const auto *App = cast<AppExpr>(M->expr(Let->body()));
+  EXPECT_TRUE(R.labelsOf(App->fn())
+                  .contains(labelOfFnWithParam(*M, "a").index()));
+}
+
+//===----------------------------------------------------------------------===//
+// Fragments and externalized variables (the Section 7 machinery)
+//===----------------------------------------------------------------------===//
+
+TEST(GraphStructure, FragmentBuildsOnlyTheSubtree) {
+  auto M = parseMaybeInfer("let f = fn x => x in f (fn a => a)");
+  ASSERT_TRUE(M);
+  const auto *Let = cast<LetExpr>(M->expr(M->root()));
+
+  SubtransitiveGraph Whole(*M, exact());
+  Whole.build();
+  SubtransitiveGraph Frag(*M, exact());
+  Frag.buildFragment(Let->init());
+  EXPECT_LT(Frag.stats().BuildNodes, Whole.stats().BuildNodes);
+  // The argument abstraction is outside the fragment.
+  const auto *App = cast<AppExpr>(M->expr(Let->body()));
+  EXPECT_FALSE(Frag.lookupExprNode(App->arg()).isValid());
+}
+
+TEST(GraphStructure, ExternalizedVarsSuppressDefUseFlow) {
+  auto M = parseMaybeInfer("let f = fn x => x in f");
+  ASSERT_TRUE(M);
+  const auto *Let = cast<LetExpr>(M->expr(M->root()));
+
+  std::vector<bool> Ext(M->numVars(), false);
+  Ext[Let->var().index()] = true;
+  SubtransitiveGraph G(*M, exact());
+  G.setExternalizedVars(Ext);
+  G.build();
+  G.close();
+  Reachability R(G);
+  // With the def-use flow externalized and nothing instantiated, the use
+  // of f sees no labels.
+  EXPECT_EQ(R.labelsOf(Let->body()).count(), 0u);
+}
+
+TEST(GraphStructure, ForceDemandSaturatesInterfacePaths) {
+  auto M = parseMaybeInfer("fn g => fn x => g x");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exact());
+  G.build();
+  NodeId V = G.exprNode(M->root());
+  // Force the dom/dom and dom/ran paths like the summariser does.
+  NodeId D = G.domNode(V), R2 = G.ranNode(V);
+  G.forceDemand(G.domNode(D));
+  G.forceDemand(G.ranNode(D));
+  G.forceDemand(G.domNode(R2));
+  G.forceDemand(G.ranNode(R2));
+  G.forceDemand(D);
+  G.forceDemand(R2);
+  G.close();
+  // The summary edge of Section 7: results of the inner application come
+  // from the context function's results, i.e. ran(ran(V)) reaches
+  // ran(dom(V)).
+  Reachability Reach(G);
+  bool Found = false;
+  std::vector<NodeId> Stack{G.ranNode(R2)};
+  std::set<uint32_t> Seen;
+  while (!Stack.empty() && !Found) {
+    NodeId N = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(N.index()).second)
+      continue;
+    Found = (N == G.ranNode(D));
+    for (NodeId S : G.succs(N))
+      Stack.push_back(S);
+  }
+  EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats accounting
+//===----------------------------------------------------------------------===//
+
+TEST(GraphStructure, PhaseAccountingIsDisjoint) {
+  auto M = parseMaybeInfer(makeJoinPointFamily(6));
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exact());
+  G.build();
+  GraphStats AfterBuild = G.stats();
+  EXPECT_GT(AfterBuild.BuildNodes, 0u);
+  EXPECT_EQ(AfterBuild.CloseNodes, 0u);
+  EXPECT_EQ(AfterBuild.CloseEdges, 0u);
+  G.close();
+  const GraphStats &AfterClose = G.stats();
+  EXPECT_EQ(AfterClose.BuildNodes, AfterBuild.BuildNodes);
+  EXPECT_EQ(AfterClose.BuildEdges, AfterBuild.BuildEdges);
+  EXPECT_EQ(AfterClose.totalNodes(), G.numNodes());
+}
+
+} // namespace

@@ -1,0 +1,384 @@
+//===-- tests/equivalence_test.cpp - Propositions 1 and 2 -----------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central claim (Propositions 1/2): the transitive closure of
+/// the subtransitive graph gives exactly the results of standard CFA.  We
+/// check it by comparing `Reachability::labelsOf` against `StandardCFA`
+/// for every occurrence of hand-written programs exercising each language
+/// construct.  For mutable references the graph is invariant-closed and may
+/// be coarser, so those programs assert soundness (superset) instead.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/StandardCFA.h"
+#include "ast/Printer.h"
+#include "core/Reachability.h"
+
+using namespace stcfa;
+
+namespace {
+
+struct CompareResult {
+  int ExactMatches = 0;
+  int GraphCoarser = 0; // graph ⊋ standard (sound but less precise)
+  int Unsound = 0;      // graph ⊉ standard
+  std::string FirstUnsound;
+};
+
+CompareResult compareAll(const Module &M, SubtransitiveConfig Config = {}) {
+  StandardCFA Std(M);
+  Std.run();
+
+  SubtransitiveGraph G(M, Config);
+  G.build();
+  G.close();
+  Reachability R(G);
+
+  CompareResult Out;
+  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+    ExprId Id(I);
+    DenseBitset Want = Std.labelSet(Id);
+    DenseBitset Got = R.labelsOf(Id);
+    if (Got == Want) {
+      ++Out.ExactMatches;
+    } else if (Got.containsAll(Want)) {
+      ++Out.GraphCoarser;
+    } else {
+      ++Out.Unsound;
+      if (Out.FirstUnsound.empty())
+        Out.FirstUnsound = describeExpr(M, Id) + " in:\n" + printProgram(M);
+    }
+  }
+  // Binder sets must agree too.
+  for (uint32_t V = 0; V != M.numVars(); ++V) {
+    DenseBitset Want = Std.labelSetOfVar(VarId(V));
+    DenseBitset Got = R.labelsOfVar(VarId(V));
+    if (Got == Want) {
+      ++Out.ExactMatches;
+    } else if (Got.containsAll(Want)) {
+      ++Out.GraphCoarser;
+    } else {
+      ++Out.Unsound;
+      if (Out.FirstUnsound.empty())
+        Out.FirstUnsound =
+            "binder " + std::string(M.text(M.var(VarId(V)).Name));
+    }
+  }
+  return Out;
+}
+
+/// Asserts graph CFA == standard CFA on every occurrence.
+void expectExact(const std::string &Source, SubtransitiveConfig Config = {}) {
+  auto M = parseMaybeInfer(Source);
+  ASSERT_TRUE(M);
+  CompareResult R = compareAll(*M, Config);
+  EXPECT_EQ(R.Unsound, 0) << "unsound at " << R.FirstUnsound;
+  EXPECT_EQ(R.GraphCoarser, 0) << "graph coarser than standard CFA on:\n"
+                               << Source;
+}
+
+/// Asserts graph CFA ⊇ standard CFA on every occurrence (used for refs and
+/// congruence-coarsened datatype programs).
+void expectSound(const std::string &Source, SubtransitiveConfig Config = {}) {
+  auto M = parseMaybeInfer(Source);
+  ASSERT_TRUE(M);
+  CompareResult R = compareAll(*M, Config);
+  EXPECT_EQ(R.Unsound, 0) << "unsound at " << R.FirstUnsound;
+}
+
+SubtransitiveConfig exactDatatypes() {
+  SubtransitiveConfig C;
+  C.Congruence = CongruenceMode::None;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's own examples
+//===----------------------------------------------------------------------===//
+
+TEST(Equivalence, PaperSection3Example) {
+  // (fn x => x x) (fn x' => x'), the running example of Section 3.
+  expectExact("(fn x => x x) (fn y => y)");
+}
+
+TEST(Equivalence, PaperSection3ExampleResult) {
+  // Check the concrete result: the whole application evaluates to the
+  // second abstraction, as derived in the paper's LC example.
+  auto M = parseMaybeInfer("(fn x => x x) (fn y => y)");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  Reachability R(G);
+  LabelId Y = labelOfFnWithParam(*M, "y");
+  LabelId X = labelOfFnWithParam(*M, "x");
+  EXPECT_TRUE(R.isLabelIn(M->root(), Y));
+  EXPECT_FALSE(R.isLabelIn(M->root(), X));
+  // x is bound to fn y => y only.
+  DenseBitset XSet = R.labelsOfVar(varNamed(*M, "x"));
+  EXPECT_TRUE(XSet.contains(Y.index()));
+  EXPECT_FALSE(XSet.contains(X.index()));
+}
+
+TEST(Equivalence, PaperSection7Fragment) {
+  // fn z => ((fn y => z) nil) — the Section 7 polyvariance example, here
+  // with unit standing in for nil.
+  expectExact("fn z => (fn y => z) unit");
+}
+
+TEST(Equivalence, PaperCubicBenchmarkShape) {
+  // The Section 10 parameterized benchmark at size 1.
+  expectExact("let fs = fn x => x;\n"
+              "let bs = fn x => x;\n"
+              "let f1 = fn x => x;\n"
+              "let b1 = fn x => x;\n"
+              "let x1 = b1 (fs f1);\n"
+              "let y1 = (bs b1) f1;\n"
+              "y1");
+}
+
+//===----------------------------------------------------------------------===//
+// Lambda core
+//===----------------------------------------------------------------------===//
+
+TEST(Equivalence, Identity) { expectExact("fn x => x"); }
+
+TEST(Equivalence, SimpleApplication) {
+  expectExact("(fn f => f) (fn y => y)");
+}
+
+TEST(Equivalence, Composition) {
+  expectExact("let comp = fn f => fn g => fn x => f (g x) in "
+              "comp (fn a => a) (fn b => b)");
+}
+
+TEST(Equivalence, JoinPoint) {
+  // The join-point shape of the paper's introduction: one parameter fed
+  // from several call sites.
+  expectExact("let f = fn x => x in "
+              "let r1 = f (fn a => a) in "
+              "let r2 = f (fn b => b) in "
+              "(r1, r2)");
+}
+
+TEST(Equivalence, HigherOrderReturn) {
+  expectExact("let mk = fn u => fn v => u in "
+              "let g = mk (fn a => a) in "
+              "g 1");
+}
+
+TEST(Equivalence, LetRecLoop) {
+  expectExact("letrec loop = fn f => loop f in loop (fn x => x)");
+}
+
+TEST(Equivalence, ChurchNumerals) {
+  expectExact("let zero = fn s => fn z => z in "
+              "let succ = fn n => fn s => fn z => s (n s z) in "
+              "let two = succ (succ zero) in "
+              "two (fn b => b) (fn c => c)");
+}
+
+TEST(Equivalence, IfBranches) {
+  expectExact("let pick = fn b => if b then fn x => x else fn y => y in "
+              "pick true");
+}
+
+TEST(Equivalence, SelfApplicationThroughLet) {
+  expectExact("let id = fn x => x in id id");
+}
+
+//===----------------------------------------------------------------------===//
+// Tuples
+//===----------------------------------------------------------------------===//
+
+TEST(Equivalence, TupleRoundTrip) {
+  expectExact("#1 (fn a => a, fn b => b)");
+}
+
+TEST(Equivalence, TupleSecondField) {
+  expectExact("#2 (fn a => a, fn b => b)");
+}
+
+TEST(Equivalence, NestedTuples) {
+  expectExact("#1 (#2 (fn a => a, (fn b => b, fn c => c)))");
+}
+
+TEST(Equivalence, TupleThroughFunction) {
+  expectExact("let pair = fn x => fn y => (x, y) in "
+              "let p = pair (fn a => a) (fn b => b) in "
+              "(#1 p) (#2 p)");
+}
+
+TEST(Equivalence, TupleFlowsThroughJoin) {
+  expectExact("let choose = fn b => if b then (fn a => a, 1) "
+              "else (fn c => c, 2) in #1 (choose true)");
+}
+
+//===----------------------------------------------------------------------===//
+// Datatypes (congruence disabled: exact tracking)
+//===----------------------------------------------------------------------===//
+
+TEST(Equivalence, NonRecursiveDatatypeExact) {
+  expectExact("data Box = MkBox(Int -> Int);\n"
+              "case MkBox(fn x => x) of MkBox(f) => f end",
+              exactDatatypes());
+}
+
+TEST(Equivalence, TwoConstructorsSelectExact) {
+  expectExact("data Either = L(Int -> Int) | R(Int -> Int);\n"
+              "case L(fn a => a) of L(f) => f | R(g) => g end",
+              exactDatatypes());
+}
+
+TEST(Equivalence, FunctionListExact) {
+  // Recursive datatype holding functions: still exact without congruence
+  // on this finite program (depth widening far away).
+  expectExact("data FList = FNil | FCons(Int -> Int, FList);\n"
+              "let l = FCons(fn a => a, FCons(fn b => b, FNil)) in "
+              "case l of FNil => (fn z => z) | FCons(h, t) => h end",
+              exactDatatypes());
+}
+
+TEST(Equivalence, CaseBindersAreConstructorSelective) {
+  auto M = parseMaybeInfer(
+      "data E = L(Int -> Int) | R(Int -> Int);\n"
+      "case L(fn a => a) of L(f) => f | R(g) => g end");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exactDatatypes());
+  G.build();
+  G.close();
+  Reachability R(G);
+  LabelId A = labelOfFnWithParam(*M, "a");
+  // f sees fn a (through L), g sees nothing (no R value exists).
+  DenseBitset FSet = R.labelsOfVar(varNamed(*M, "f"));
+  EXPECT_TRUE(FSet.contains(A.index()));
+  DenseBitset GSet = R.labelsOfVar(varNamed(*M, "g"));
+  EXPECT_EQ(GSet.count(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Datatypes with congruences: sound, possibly coarser
+//===----------------------------------------------------------------------===//
+
+TEST(Equivalence, CongruenceByTypeIsSound) {
+  SubtransitiveConfig C;
+  C.Congruence = CongruenceMode::ByType;
+  expectSound("data FList = FNil | FCons(Int -> Int, FList);\n"
+              "let l = FCons(fn a => a, FCons(fn b => b, FNil)) in "
+              "case l of FNil => (fn z => z) | FCons(h, t) => h end",
+              C);
+}
+
+TEST(Equivalence, CongruenceByBaseAndTypeIsSound) {
+  SubtransitiveConfig C;
+  C.Congruence = CongruenceMode::ByBaseAndType;
+  expectSound("data FList = FNil | FCons(Int -> Int, FList);\n"
+              "let l = FCons(fn a => a, FCons(fn b => b, FNil)) in "
+              "case l of FNil => (fn z => z) | FCons(h, t) => h end",
+              C);
+}
+
+//===----------------------------------------------------------------------===//
+// References: invariant closure is sound (superset), not exact
+//===----------------------------------------------------------------------===//
+
+TEST(Equivalence, RefReadSound) {
+  expectSound("let r = ref (fn a => a) in !r");
+}
+
+TEST(Equivalence, RefWriteSound) {
+  expectSound("let r = ref (fn a => a) in "
+              "let u = r := (fn b => b) in !r");
+}
+
+TEST(Equivalence, RefWriteReachesReads) {
+  auto M = parseMaybeInfer("let r = ref (fn a => a) in "
+                         "let u = r := (fn b => b) in !r");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  Reachability R(G);
+  // The read must see both the initial value and the written value.
+  const auto *LetR = cast<LetExpr>(M->expr(M->root()));
+  const auto *LetU = cast<LetExpr>(M->expr(LetR->body()));
+  DenseBitset Read = R.labelsOf(LetU->body());
+  EXPECT_TRUE(Read.contains(labelOfFnWithParam(*M, "a").index()));
+  EXPECT_TRUE(Read.contains(labelOfFnWithParam(*M, "b").index()));
+}
+
+//===----------------------------------------------------------------------===//
+// Mixed programs
+//===----------------------------------------------------------------------===//
+
+TEST(Equivalence, MapOverFunctionList) {
+  // Recursive traversal of a recursive datatype: without a congruence the
+  // derived-node chains are unbounded (the paper: "for untyped (or
+  // recursively typed) programs ... our algorithm may not terminate"), so
+  // the depth widening engages and the result is sound but coarser.
+  const char *Source =
+      "data FList = FNil | FCons(Int -> Int, FList);\n"
+      "letrec map = fn f => fn l => case l of FNil => FNil "
+      "| FCons(h, t) => FCons(f h, map f t) end in "
+      "let twice = fn g => g in "
+      "map twice (FCons(fn x => x + 1, FNil))";
+  expectSound(Source, exactDatatypes());
+
+  // The widening must actually have engaged without a congruence...
+  auto M = parseMaybeInfer(Source);
+  ASSERT_TRUE(M);
+  SubtransitiveGraph GNone(*M, exactDatatypes());
+  GNone.build();
+  GNone.close();
+  EXPECT_GT(GNone.stats().Widenings, 0u);
+
+  // ...while congruence ≈1 bounds the node space with no widening, as the
+  // paper's Section 6 construction intends.
+  SubtransitiveGraph GCong(*M);
+  GCong.build();
+  GCong.close();
+  EXPECT_EQ(GCong.stats().Widenings, 0u);
+  expectSound(Source);
+}
+
+TEST(Equivalence, PolymorphicIdUsedTwice) {
+  expectExact("let id = fn x => x in (id (fn a => a), id (fn b => b))");
+}
+
+TEST(Equivalence, DeadCodeStillAnalyzed) {
+  // CFA is reduction-order-independent: the unused branch contributes.
+  expectExact("let dead = (fn a => a) (fn b => b) in fn c => c");
+}
+
+//===----------------------------------------------------------------------===//
+// Closure policies agree on final label sets
+//===----------------------------------------------------------------------===//
+
+class PolicyEquivalenceTest
+    : public ::testing::TestWithParam<ClosurePolicy> {};
+
+TEST_P(PolicyEquivalenceTest, SameLabelSets) {
+  const char *Source = "let comp = fn f => fn g => fn x => f (g x) in "
+                       "let p = comp (fn a => a) (fn b => b) in "
+                       "(p, (fn s => s s) (fn t => t))";
+  auto M = parseMaybeInfer(Source);
+  ASSERT_TRUE(M);
+  SubtransitiveConfig C;
+  C.Policy = GetParam();
+  CompareResult R = compareAll(*M, C);
+  EXPECT_EQ(R.Unsound, 0) << R.FirstUnsound;
+  EXPECT_EQ(R.GraphCoarser, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyEquivalenceTest,
+                         ::testing::Values(ClosurePolicy::PaperExact,
+                                           ClosurePolicy::NodeExists,
+                                           ClosurePolicy::Undemanded));
+
+} // namespace

@@ -1,0 +1,122 @@
+//===-- tests/generators_test.cpp - Workload generator tests --------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "gen/Corpus.h"
+#include "gen/Generators.h"
+#include "interp/Interpreter.h"
+
+#include <algorithm>
+
+using namespace stcfa;
+
+namespace {
+
+int countLines(const std::string &S) {
+  return static_cast<int>(std::count(S.begin(), S.end(), '\n'));
+}
+
+TEST(Generators, CubicFamilyParsesAndInfers) {
+  for (int N : {1, 2, 8}) {
+    auto M = parseAndInfer(makeCubicFamily(N));
+    ASSERT_TRUE(M) << "size " << N;
+    // Two shared functions plus 2 per copy.
+    EXPECT_EQ(M->numLabels(), 2u + 2u * N);
+  }
+}
+
+TEST(Generators, CubicFamilySizeIsLinear) {
+  auto M1 = parseOrDie(makeCubicFamily(10));
+  auto M2 = parseOrDie(makeCubicFamily(20));
+  ASSERT_TRUE(M1 && M2);
+  // Doubling the parameter roughly doubles the program size.
+  EXPECT_NEAR(static_cast<double>(M2->numExprs()) / M1->numExprs(), 2.0, 0.3);
+}
+
+TEST(Generators, JoinPointFamilyParsesAndInfers) {
+  auto M = parseAndInfer(makeJoinPointFamily(5));
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->numLabels(), 6u); // f plus 5 arguments
+}
+
+TEST(Generators, EffectsFamilyParsesAndInfers) {
+  auto M = parseAndInfer(makeEffectsFamily(4));
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->numLabels(), 10u); // w0..w4, p0..p4
+}
+
+TEST(Generators, CalledOnceFamilyParsesAndInfers) {
+  EXPECT_TRUE(parseAndInfer(makeCalledOnceFamily(3)));
+}
+
+TEST(Generators, DispatchFamilyGrowsCalleeSets) {
+  auto M = parseAndInfer(makeDispatchFamily(6));
+  ASSERT_TRUE(M);
+  // d6 can be any of g0..g6.
+  EXPECT_EQ(M->numLabels(), 7u);
+}
+
+TEST(Generators, LifeProgramParsesAndInfers) {
+  std::string Src = lifeProgram();
+  EXPECT_GE(countLines(Src), 120) << "life should be ~150 lines";
+  EXPECT_LE(countLines(Src), 200);
+  EXPECT_TRUE(parseAndInfer(Src));
+}
+
+TEST(Generators, LexgenLikeParsesAndInfers) {
+  EXPECT_TRUE(parseAndInfer(makeLexgenLike(10)));
+}
+
+TEST(Generators, MiniEvalParsesInfersAndRuns) {
+  auto M = parseAndInfer(miniEvalProgram());
+  ASSERT_TRUE(M);
+  auto R = interpret(*M, 5000000);
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  // (1+2) * (5 + -3) = 6, evaluated twice (folded + unfolded).
+  EXPECT_EQ(R.FinalValue, "12");
+}
+
+TEST(Generators, ParserComboParsesInfersAndRuns) {
+  auto M = parseAndInfer(parserComboProgram());
+  ASSERT_TRUE(M);
+  auto R = interpret(*M, 5000000);
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  // "1*2+3" accepted, "" rejected.
+  EXPECT_EQ(R.FinalValue, "1");
+}
+
+TEST(Generators, LexgenDefaultScaleMatchesPaper) {
+  // The paper's lexgen is 1180 lines; the default emission is the same
+  // size class (within ~25%).
+  int Lines = countLines(makeLexgenLike());
+  EXPECT_GE(Lines, 900);
+  EXPECT_LE(Lines, 1500);
+}
+
+TEST(Generators, RandomProgramsAreDeterministic) {
+  RandomProgramOptions O;
+  O.Seed = 42;
+  EXPECT_EQ(makeRandomProgram(O), makeRandomProgram(O));
+  O.Seed = 43;
+  EXPECT_NE(makeRandomProgram(RandomProgramOptions{}), makeRandomProgram(O));
+}
+
+class RandomProgramSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramSeeds, ParseAndInferCleanly) {
+  RandomProgramOptions O;
+  O.Seed = GetParam();
+  O.NumBindings = 60;
+  O.UseRefs = true;
+  O.UseEffects = true;
+  EXPECT_TRUE(parseAndInfer(makeRandomProgram(O)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramSeeds,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

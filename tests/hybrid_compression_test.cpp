@@ -1,0 +1,188 @@
+//===-- tests/hybrid_compression_test.cpp - Hybrid CFA and compression ----===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the two paper-suggested extensions: the Conclusion's hybrid
+/// algorithm (subtransitive first, cubic fallback for arbitrary programs)
+/// and Section 10's chain compression of the query graph.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/HybridCFA.h"
+#include "core/Compression.h"
+#include "core/Reachability.h"
+#include "gen/Corpus.h"
+#include "gen/Generators.h"
+
+using namespace stcfa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// HybridCFA
+//===----------------------------------------------------------------------===//
+
+TEST(Hybrid, BoundedProgramUsesSubtransitive) {
+  auto M = parseMaybeInfer(makeCubicFamily(4));
+  ASSERT_TRUE(M);
+  HybridCFA H(*M);
+  H.run();
+  EXPECT_EQ(H.engine(), HybridCFA::Engine::Subtransitive);
+  EXPECT_NE(H.graph(), nullptr);
+}
+
+TEST(Hybrid, RecursiveDatatypeTraversalFallsBack) {
+  // Recursive traversal of a recursive datatype with exact tracking
+  // diverges (widening) — the hybrid must fall back to the standard
+  // algorithm.
+  auto M = parseMaybeInfer(
+      "data FList = FNil | FCons(Int -> Int, FList);\n"
+      "letrec map = fn f => fn l => case l of FNil => FNil "
+      "| FCons(h, t) => FCons(f h, map f t) end in "
+      "map (fn g => g) (FCons(fn x => x + 1, FNil))");
+  ASSERT_TRUE(M);
+  HybridCFA H(*M);
+  H.run();
+  EXPECT_EQ(H.engine(), HybridCFA::Engine::Standard);
+}
+
+TEST(Hybrid, UntypedSelfApplicationStillTerminates) {
+  // (fn x => x x)(fn y => y) is untypeable; either engine must still
+  // produce the right answer.
+  auto M = parseMaybeInfer("(fn x => x x) (fn y => y)");
+  ASSERT_TRUE(M);
+  HybridCFA H(*M);
+  H.run();
+  EXPECT_TRUE(H.labelSet(M->root())
+                  .contains(labelOfFnWithParam(*M, "y").index()));
+}
+
+class HybridEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HybridEquivalence, MatchesStandardCFA) {
+  RandomProgramOptions O;
+  O.Seed = GetParam();
+  O.NumBindings = 50;
+  O.UseRefs = false;
+  auto M = parseAndInfer(makeRandomProgram(O));
+  ASSERT_TRUE(M);
+  HybridCFA H(*M);
+  H.run();
+  StandardCFA Std(*M);
+  Std.run();
+  for (uint32_t I = 0; I != M->numExprs(); ++I) {
+    DenseBitset Want = Std.labelSet(ExprId(I));
+    DenseBitset Got = H.labelSet(ExprId(I));
+    if (H.engine() == HybridCFA::Engine::Subtransitive) {
+      // The subtransitive engine with exact tracking is exact.
+      EXPECT_TRUE(Got == Want) << "expr " << I << " seed " << GetParam();
+    } else {
+      EXPECT_TRUE(Got.containsAll(Want));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridEquivalence,
+                         ::testing::Range<uint64_t>(1200, 1215));
+
+TEST(Hybrid, TinyBudgetForcesFallbackButStaysCorrect) {
+  auto M = parseMaybeInfer(makeCubicFamily(8));
+  ASSERT_TRUE(M);
+  HybridCFA H(*M, /*BudgetFactor=*/0); // MaxNodes ~ 1024: cubic:8 exceeds it
+  H.run();
+  StandardCFA Std(*M);
+  Std.run();
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    EXPECT_TRUE(H.labelSet(ExprId(I)) == Std.labelSet(ExprId(I)));
+}
+
+//===----------------------------------------------------------------------===//
+// CompressedGraph
+//===----------------------------------------------------------------------===//
+
+class CompressionEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressionEquivalence, SameLabelSetsFewerNodes) {
+  RandomProgramOptions O;
+  O.Seed = GetParam();
+  O.NumBindings = 60;
+  O.UseRefs = (GetParam() % 2) == 0;
+  auto M = parseAndInfer(makeRandomProgram(O));
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  Reachability R(G);
+  CompressedGraph CG(G);
+
+  EXPECT_LT(CG.numKeptNodes(), CG.numOriginalNodes())
+      << "compression should remove chain nodes";
+  for (uint32_t I = 0; I != M->numExprs(); ++I) {
+    EXPECT_TRUE(CG.labelsOf(ExprId(I)) == R.labelsOf(ExprId(I)))
+        << "expr " << I << " seed " << GetParam();
+  }
+  for (uint32_t V = 0; V != M->numVars(); ++V) {
+    EXPECT_TRUE(CG.labelsOfVar(VarId(V)) == R.labelsOfVar(VarId(V)))
+        << "var " << V << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionEquivalence,
+                         ::testing::Range<uint64_t>(1300, 1320));
+
+TEST(Compression, VisitsFewerNodesOnChains) {
+  // A long let-chain compresses into almost nothing.
+  std::string Src = "let a0 = fn x => x;\n";
+  for (int I = 1; I <= 200; ++I)
+    Src += "let a" + std::to_string(I) + " = a" + std::to_string(I - 1) +
+           ";\n";
+  Src += "a200";
+  auto M = parseAndInfer(Src);
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  Reachability R(G);
+  CompressedGraph CG(G);
+
+  DenseBitset Full = R.labelsOf(M->root());
+  DenseBitset Compressed = CG.labelsOf(M->root());
+  EXPECT_TRUE(Full == Compressed);
+  EXPECT_EQ(Compressed.count(), 1u);
+  // The chain query visits O(chain) nodes uncompressed, O(1) compressed.
+  EXPECT_LT(CG.nodesVisited() * 10, R.nodesVisited());
+}
+
+TEST(Compression, HandlesCycles) {
+  // letrec loops create cycles among label-free nodes.
+  auto M = parseMaybeInfer("letrec loop = fn f => loop f in "
+                           "loop (fn x => x)");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  Reachability R(G);
+  CompressedGraph CG(G);
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    EXPECT_TRUE(CG.labelsOf(ExprId(I)) == R.labelsOf(ExprId(I)));
+}
+
+TEST(Compression, CorpusEquivalence) {
+  auto M = parseAndInfer(lifeProgram());
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  Reachability R(G);
+  CompressedGraph CG(G);
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    EXPECT_TRUE(CG.labelsOf(ExprId(I)) == R.labelsOf(ExprId(I)))
+        << "expr " << I;
+}
+
+} // namespace

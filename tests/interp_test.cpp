@@ -1,0 +1,151 @@
+//===-- tests/interp_test.cpp - Reference interpreter tests ---------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "gen/Corpus.h"
+#include "gen/Generators.h"
+#include "interp/Interpreter.h"
+
+using namespace stcfa;
+
+namespace {
+
+InterpreterResult runSource(const std::string &Source,
+                            uint64_t Fuel = 1000000) {
+  auto M = parseMaybeInfer(Source);
+  EXPECT_TRUE(M);
+  if (!M)
+    return {};
+  return interpret(*M, Fuel);
+}
+
+TEST(Interpreter, Arithmetic) {
+  auto R = runSource("2 + 3 * 4");
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  EXPECT_EQ(R.FinalValue, "14");
+}
+
+TEST(Interpreter, BooleansAndComparisons) {
+  EXPECT_EQ(runSource("if 1 < 2 then 10 else 20").FinalValue, "10");
+  EXPECT_EQ(runSource("if not (1 == 1) then 10 else 20").FinalValue, "20");
+  EXPECT_EQ(runSource("3 <= 3").FinalValue, "true");
+}
+
+TEST(Interpreter, FunctionsAndClosures) {
+  EXPECT_EQ(runSource("(fn x => x + 1) 41").FinalValue, "42");
+  // Closure capture.
+  EXPECT_EQ(runSource("let make = fn n => fn m => n + m in "
+                      "let add5 = make 5 in add5 10")
+                .FinalValue,
+            "15");
+}
+
+TEST(Interpreter, LetRecFactorial) {
+  auto R = runSource("letrec fact = fn n => if n == 0 then 1 "
+                     "else n * fact (n - 1) in fact 6");
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  EXPECT_EQ(R.FinalValue, "720");
+}
+
+TEST(Interpreter, TuplesAndProjections) {
+  EXPECT_EQ(runSource("#2 (1, (2, 3))").FinalValue, "(2, 3)");
+}
+
+TEST(Interpreter, DatatypesAndCase) {
+  auto R = runSource(
+      "data IntList = INil | ICons(Int, IntList);\n"
+      "letrec sum = fn l => case l of INil => 0 "
+      "| ICons(h, t) => h + sum t end in "
+      "sum (ICons(1, ICons(2, ICons(3, INil))))");
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  EXPECT_EQ(R.FinalValue, "6");
+}
+
+TEST(Interpreter, RefsAreMutable) {
+  auto R = runSource("let r = ref 1 in let u = r := 41 in !r + 1");
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  EXPECT_EQ(R.FinalValue, "42");
+}
+
+TEST(Interpreter, PrintCollectsOutput) {
+  auto R = runSource("#2 (print \"hello\", print \"world\")");
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  ASSERT_EQ(R.Output.size(), 2u);
+  EXPECT_EQ(R.Output[0], "hello");
+  EXPECT_EQ(R.Output[1], "world");
+}
+
+TEST(Interpreter, EffectObservations) {
+  auto R = runSource("let pure = 1 + 2 in print \"x\"");
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  auto M = parseMaybeInfer("let pure = 1 + 2 in print \"x\"");
+  // The print expression (and the enclosing let) did effects; the
+  // arithmetic did not.
+  const auto *Let = cast<LetExpr>(M->expr(M->root()));
+  EXPECT_TRUE(R.DidEffect[M->root().index()]);
+  EXPECT_FALSE(R.DidEffect[Let->init().index()]);
+}
+
+TEST(Interpreter, FuelBoundsNontermination) {
+  auto R = runSource("letrec loop = fn x => loop x in loop 1", 5000);
+  EXPECT_FALSE(R.Completed);
+  EXPECT_TRUE(R.Abort == "out of fuel" || R.Abort == "recursion too deep")
+      << R.Abort;
+}
+
+TEST(Interpreter, StuckStates) {
+  EXPECT_EQ(runSource("1 2").Abort, "stuck: applying a non-function");
+  EXPECT_EQ(runSource("1 / 0").Abort, "stuck: division by zero");
+  EXPECT_EQ(runSource("if 1 then 2 else 3").Abort,
+            "stuck: non-boolean condition");
+  EXPECT_EQ(runSource("data D = C | E;\ncase C of E => 1 end").Abort,
+            "stuck: no matching case arm");
+}
+
+TEST(Interpreter, DivisionTruncates) {
+  EXPECT_EQ(runSource("7 / 2").FinalValue, "3");
+}
+
+TEST(Interpreter, CallSiteObservations) {
+  std::string Src = "let f = fn x => x in let g = fn y => y in (f 1, f g)";
+  auto M = parseMaybeInfer(Src);
+  ASSERT_TRUE(M);
+  auto R = interpret(*M);
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  LabelId F = labelOfFnWithParam(*M, "x");
+  LabelId G = labelOfFnWithParam(*M, "y");
+  EXPECT_EQ(R.CallSitesOf[F.index()].size(), 2u); // two sites call f
+  EXPECT_EQ(R.CallSitesOf[G.index()].size(), 0u); // g is never called
+}
+
+TEST(Interpreter, LifeProgramRuns) {
+  auto M = parseAndInfer(lifeProgram());
+  ASSERT_TRUE(M);
+  auto R = interpret(*M, 20000000);
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  // 4 generations of a glider keep 5 live cells.
+  EXPECT_FALSE(R.Output.empty());
+  EXPECT_EQ(R.Output.back(), "done");
+}
+
+TEST(Interpreter, LexgenLikeRuns) {
+  auto M = parseAndInfer(makeLexgenLike(12));
+  ASSERT_TRUE(M);
+  auto R = interpret(*M, 20000000);
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  // The driver returns tokCount renumbered + tokCount tokens (an int).
+  EXPECT_FALSE(R.FinalValue.empty());
+}
+
+TEST(Interpreter, CubicFamilyRuns) {
+  auto M = parseAndInfer(makeCubicFamily(4));
+  ASSERT_TRUE(M);
+  auto R = interpret(*M);
+  ASSERT_TRUE(R.Completed) << R.Abort;
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===-- tests/mutual_recursion_test.cpp - letrec ... and ... groups -------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/StandardCFA.h"
+#include "ast/Printer.h"
+#include "core/Reachability.h"
+#include "interp/Interpreter.h"
+#include "unify/UnificationCFA.h"
+
+using namespace stcfa;
+
+namespace {
+
+const char *EvenOdd =
+    "letrec isEven = fn n => if n == 0 then true else isOdd (n - 1)\n"
+    "and isOdd = fn n => if n == 0 then false else isEven (n - 1)\n"
+    "in (isEven 10, isOdd 10)";
+
+TEST(MutualRecursion, ParsesToAGroup) {
+  auto M = parseOrDie(EvenOdd);
+  ASSERT_TRUE(M);
+  const auto *G = dyn_cast<LetRecNExpr>(M->expr(M->root()));
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->bindings().size(), 2u);
+  // Forward reference resolved: isOdd inside isEven's body points at the
+  // group binder.
+  EXPECT_EQ(M->var(G->bindings()[1].Var).Binder, M->root());
+}
+
+TEST(MutualRecursion, SingleBindingStaysLetExpr) {
+  auto M = parseOrDie("letrec f = fn x => f x in f");
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(isa<LetExpr>(M->expr(M->root())));
+}
+
+TEST(MutualRecursion, TypeChecks) {
+  auto M = parseAndInfer(EvenOdd);
+  ASSERT_TRUE(M);
+  const auto *G = cast<LetRecNExpr>(M->expr(M->root()));
+  EXPECT_EQ(M->types().render(M->expr(G->bindings()[0].Init)->type(),
+                              M->strings()),
+            "Int -> Bool");
+}
+
+TEST(MutualRecursion, Evaluates) {
+  auto M = parseOrDie(EvenOdd);
+  ASSERT_TRUE(M);
+  auto R = interpret(*M);
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  EXPECT_EQ(R.FinalValue, "(true, false)");
+}
+
+TEST(MutualRecursion, ThreeWayGroup) {
+  auto M = parseAndInfer(
+      "letrec a = fn n => if n == 0 then 0 else b (n - 1)\n"
+      "and b = fn n => if n == 0 then 1 else c (n - 1)\n"
+      "and c = fn n => if n == 0 then 2 else a (n - 1)\n"
+      "in a 7");
+  ASSERT_TRUE(M);
+  auto R = interpret(*M);
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  EXPECT_EQ(R.FinalValue, "1"); // 7 hops: a b c a b c a -> b(0) = 1
+}
+
+TEST(MutualRecursion, GraphEqualsStandardCFA) {
+  // Mutual higher-order functions exchanging function values.
+  auto M = parseAndInfer(
+      "letrec ping = fn f => fn n => if n == 0 then f else pong f (n - 1)\n"
+      "and pong = fn g => fn n => ping g (n - 1)\n"
+      "in (ping (fn a => a) 4) 9");
+  ASSERT_TRUE(M);
+  StandardCFA Std(*M);
+  Std.run();
+  SubtransitiveConfig C;
+  C.Congruence = CongruenceMode::None;
+  SubtransitiveGraph G(*M, C);
+  G.build();
+  G.close();
+  Reachability R(G);
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    EXPECT_TRUE(R.labelsOf(ExprId(I)) == Std.labelSet(ExprId(I)))
+        << "expr " << I;
+  for (uint32_t V = 0; V != M->numVars(); ++V)
+    EXPECT_TRUE(R.labelsOfVar(VarId(V)) == Std.labelSetOfVar(VarId(V)))
+        << "var " << V;
+}
+
+TEST(MutualRecursion, UnificationIsSound) {
+  auto M = parseAndInfer(EvenOdd);
+  ASSERT_TRUE(M);
+  UnificationCFA U(*M);
+  U.run();
+  StandardCFA Std(*M);
+  Std.run();
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    EXPECT_TRUE(U.labelSet(ExprId(I)).containsAll(Std.labelSet(ExprId(I))));
+}
+
+TEST(MutualRecursion, PrinterRoundTrip) {
+  auto M1 = parseOrDie(EvenOdd);
+  ASSERT_TRUE(M1);
+  std::string P1 = printProgram(*M1);
+  DiagnosticEngine Diags;
+  auto M2 = parseProgram(P1, Diags);
+  ASSERT_TRUE(M2) << Diags.render() << P1;
+  EXPECT_EQ(M1->numExprs(), M2->numExprs());
+  EXPECT_EQ(P1, printProgram(*M2));
+}
+
+TEST(MutualRecursion, TopLevelGroupDesugars) {
+  auto M = parseAndInfer(
+      "letrec f = fn n => if n == 0 then 1 else g (n - 1)\n"
+      "and g = fn n => f n;\n"
+      "f 3");
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(isa<LetRecNExpr>(M->expr(M->root())));
+  auto R = interpret(*M);
+  EXPECT_EQ(R.FinalValue, "1");
+}
+
+TEST(MutualRecursion, NestedGroupsResolveOutward) {
+  // The inner group's unresolved name `h` belongs to the outer group.
+  auto M = parseAndInfer(
+      "letrec outer = fn n =>\n"
+      "  (letrec innerA = fn m => if m == 0 then h m else innerB m\n"
+      "   and innerB = fn m => innerA (m - 1)\n"
+      "   in innerA n)\n"
+      "and h = fn k => k\n"
+      "in outer 3");
+  ASSERT_TRUE(M);
+  auto R = interpret(*M);
+  ASSERT_TRUE(R.Completed) << R.Abort;
+  EXPECT_EQ(R.FinalValue, "0");
+}
+
+//===----------------------------------------------------------------------===//
+// Rejections
+//===----------------------------------------------------------------------===//
+
+void expectParseError(const char *Src) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(parseProgram(Src, Diags), nullptr) << Src;
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(MutualRecursion, NonLambdaMemberRejected) {
+  expectParseError("letrec f = fn x => x and g = 5 in f");
+}
+
+TEST(MutualRecursion, DuplicateNamesRejected) {
+  expectParseError("letrec f = fn x => x and f = fn y => y in f");
+}
+
+TEST(MutualRecursion, UnboundForwardRefRejected) {
+  expectParseError("letrec f = fn x => nowhere x and g = fn y => y in f");
+}
+
+TEST(MutualRecursion, ShadowingGroupMemberRejected) {
+  // `g` resolves to the outer g inside f's init but is then shadowed by
+  // the group's own g — ambiguous under eager resolution, so rejected.
+  expectParseError("let g = fn a => a in\n"
+                   "letrec f = fn x => g x and g = fn y => y in f 1");
+}
+
+TEST(MutualRecursion, AndOutsideLetrecRejected) {
+  expectParseError("let f = fn x => x and g = fn y => y in f");
+}
+
+} // namespace

@@ -1,0 +1,364 @@
+//===-- tests/parser_test.cpp - Lexer and parser unit tests ---------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ast/Printer.h"
+#include "parser/Lexer.h"
+
+using namespace stcfa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+std::vector<TokenKind> lexKinds(std::string_view Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<TokenKind> Out;
+  while (true) {
+    Token T = L.next();
+    Out.push_back(T.Kind);
+    if (T.Kind == TokenKind::Eof || T.Kind == TokenKind::Error)
+      break;
+  }
+  return Out;
+}
+
+TEST(Lexer, Keywords) {
+  auto Kinds = lexKinds("fn let letrec in if then else case of end data");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwFn,   TokenKind::KwLet,   TokenKind::KwLetRec,
+      TokenKind::KwIn,   TokenKind::KwIf,    TokenKind::KwThen,
+      TokenKind::KwElse, TokenKind::KwCase,  TokenKind::KwOf,
+      TokenKind::KwEnd,  TokenKind::KwData,  TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, CompoundOperators) {
+  auto Kinds = lexKinds("=> -> = == < <= :=");
+  std::vector<TokenKind> Expected = {
+      TokenKind::FatArrow, TokenKind::Arrow,     TokenKind::Equal,
+      TokenKind::EqualEqual, TokenKind::Less,    TokenKind::LessEqual,
+      TokenKind::Assign,   TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, IntAndString) {
+  DiagnosticEngine Diags;
+  Lexer L("42 \"hello\"", Diags);
+  Token T = L.next();
+  EXPECT_EQ(T.Kind, TokenKind::Int);
+  EXPECT_EQ(T.IntValue, 42);
+  T = L.next();
+  EXPECT_EQ(T.Kind, TokenKind::String);
+  EXPECT_EQ(T.Text, "hello");
+}
+
+TEST(Lexer, UpperVsLowerIdentifiers) {
+  DiagnosticEngine Diags;
+  Lexer L("foo Bar baz'", Diags);
+  EXPECT_EQ(L.next().Kind, TokenKind::Ident);
+  EXPECT_EQ(L.next().Kind, TokenKind::UIdent);
+  Token T = L.next();
+  EXPECT_EQ(T.Kind, TokenKind::Ident);
+  EXPECT_EQ(T.Text, "baz'");
+}
+
+TEST(Lexer, LineComments) {
+  auto Kinds = lexKinds("1 -- this is a comment\n2");
+  std::vector<TokenKind> Expected = {TokenKind::Int, TokenKind::Int,
+                                     TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, NestedBlockComments) {
+  auto Kinds = lexKinds("1 (* outer (* inner *) still *) 2");
+  std::vector<TokenKind> Expected = {TokenKind::Int, TokenKind::Int,
+                                     TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  DiagnosticEngine Diags;
+  Lexer L("(* never closed", Diags);
+  (void)L.next();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  DiagnosticEngine Diags;
+  Lexer L("\"oops", Diags);
+  Token T = L.next();
+  EXPECT_EQ(T.Kind, TokenKind::Error);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, TracksLocations) {
+  DiagnosticEngine Diags;
+  Lexer L("a\n  b", Diags);
+  Token A = L.next();
+  EXPECT_EQ(A.Loc.Line, 1u);
+  EXPECT_EQ(A.Loc.Col, 1u);
+  Token B = L.next();
+  EXPECT_EQ(B.Loc.Line, 2u);
+  EXPECT_EQ(B.Loc.Col, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser: structure
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, Identity) {
+  auto M = parseOrDie("fn x => x");
+  ASSERT_TRUE(M);
+  const auto *Lam = dyn_cast<LamExpr>(M->expr(M->root()));
+  ASSERT_TRUE(Lam);
+  const auto *Body = dyn_cast<VarExpr>(M->expr(Lam->body()));
+  ASSERT_TRUE(Body);
+  EXPECT_EQ(Body->var(), Lam->param());
+}
+
+TEST(Parser, ApplicationIsLeftAssociative) {
+  auto M = parseOrDie("let f = fn x => fn y => x in f f f");
+  ASSERT_TRUE(M);
+  const auto *Let = cast<LetExpr>(M->expr(M->root()));
+  const auto *Outer = dyn_cast<AppExpr>(M->expr(Let->body()));
+  ASSERT_TRUE(Outer);
+  EXPECT_TRUE(isa<AppExpr>(M->expr(Outer->fn())));
+  EXPECT_TRUE(isa<VarExpr>(M->expr(Outer->arg())));
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  auto M = parseOrDie("1 + 2 * 3");
+  ASSERT_TRUE(M);
+  const auto *Add = dyn_cast<PrimExpr>(M->expr(M->root()));
+  ASSERT_TRUE(Add);
+  EXPECT_EQ(Add->op(), PrimOp::Add);
+  const auto *Mul = dyn_cast<PrimExpr>(M->expr(Add->args()[1]));
+  ASSERT_TRUE(Mul);
+  EXPECT_EQ(Mul->op(), PrimOp::Mul);
+}
+
+TEST(Parser, ApplicationBindsTighterThanArithmetic) {
+  auto M = parseOrDie("let f = fn x => x in f 1 + f 2");
+  ASSERT_TRUE(M);
+  const auto *Let = cast<LetExpr>(M->expr(M->root()));
+  const auto *Add = dyn_cast<PrimExpr>(M->expr(Let->body()));
+  ASSERT_TRUE(Add);
+  EXPECT_EQ(Add->op(), PrimOp::Add);
+  EXPECT_TRUE(isa<AppExpr>(M->expr(Add->args()[0])));
+  EXPECT_TRUE(isa<AppExpr>(M->expr(Add->args()[1])));
+}
+
+TEST(Parser, UnboundVariableIsError) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(parseProgram("fn x => y", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, ShadowingResolvesToInnermost) {
+  auto M = parseOrDie("fn x => fn x => x");
+  ASSERT_TRUE(M);
+  const auto *Outer = cast<LamExpr>(M->expr(M->root()));
+  const auto *Inner = cast<LamExpr>(M->expr(Outer->body()));
+  const auto *Occ = cast<VarExpr>(M->expr(Inner->body()));
+  EXPECT_EQ(Occ->var(), Inner->param());
+  EXPECT_NE(Occ->var(), Outer->param());
+}
+
+TEST(Parser, TopLevelBindingsDesugarToNestedLets) {
+  auto M = parseOrDie("let a = 1;\nlet b = 2;\na + b");
+  ASSERT_TRUE(M);
+  const auto *LetA = dyn_cast<LetExpr>(M->expr(M->root()));
+  ASSERT_TRUE(LetA);
+  const auto *LetB = dyn_cast<LetExpr>(M->expr(LetA->body()));
+  ASSERT_TRUE(LetB);
+  EXPECT_TRUE(isa<PrimExpr>(M->expr(LetB->body())));
+}
+
+TEST(Parser, LetRecRequiresLambda) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(parseProgram("letrec f = 1 in f", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, LetRecScopesOverInitializer) {
+  auto M = parseOrDie("letrec f = fn x => f x in f");
+  ASSERT_TRUE(M);
+  const auto *Let = cast<LetExpr>(M->expr(M->root()));
+  EXPECT_TRUE(Let->isRec());
+}
+
+TEST(Parser, PlainLetDoesNotScopeOverInitializer) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(parseProgram("let f = fn x => f x in f", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, TuplesAndProjections) {
+  auto M = parseOrDie("#2 (1, 2, 3)");
+  ASSERT_TRUE(M);
+  const auto *P = dyn_cast<ProjExpr>(M->expr(M->root()));
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->index(), 1u); // surface syntax is 1-based
+  const auto *T = dyn_cast<TupleExpr>(M->expr(P->tuple()));
+  ASSERT_TRUE(T);
+  EXPECT_EQ(T->elems().size(), 3u);
+}
+
+TEST(Parser, UnitLiterals) {
+  auto M = parseOrDie("(unit, ())");
+  ASSERT_TRUE(M);
+  const auto *T = cast<TupleExpr>(M->expr(M->root()));
+  EXPECT_EQ(cast<LitExpr>(M->expr(T->elems()[0]))->litKind(), LitKind::Unit);
+  EXPECT_EQ(cast<LitExpr>(M->expr(T->elems()[1]))->litKind(), LitKind::Unit);
+}
+
+TEST(Parser, DataDeclarationAndCase) {
+  auto M = parseOrDie("data IntList = Nil | Cons(Int, IntList);\n"
+                      "case Cons(1, Nil) of Nil => 0 | Cons(h, t) => h end");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->numCons(), 2u);
+  const auto *C = dyn_cast<CaseExpr>(M->expr(M->root()));
+  ASSERT_TRUE(C);
+  ASSERT_EQ(C->arms().size(), 2u);
+  EXPECT_EQ(C->arms()[1].Binders.size(), 2u);
+}
+
+TEST(Parser, ConstructorArityMismatchIsError) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(parseProgram("data D = C(Int);\nC(1, 2)", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, UnknownConstructorIsError) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(parseProgram("Nope(1)", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, UnknownDatatypeInSignatureIsError) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(parseProgram("data D = C(Missing);\n1", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, MutuallyRecursiveDatatypesAllowed) {
+  auto M = parseOrDie("data A = MkA(B) | ZeroA;\ndata B = MkB(A) | ZeroB;\n"
+                      "MkA(MkB(ZeroA))");
+  EXPECT_TRUE(M);
+}
+
+TEST(Parser, RefSyntax) {
+  auto M = parseOrDie("let r = ref (fn x => x) in (r := fn y => y, !r)");
+  ASSERT_TRUE(M);
+  const auto *Let = cast<LetExpr>(M->expr(M->root()));
+  EXPECT_EQ(cast<PrimExpr>(M->expr(Let->init()))->op(), PrimOp::RefNew);
+}
+
+TEST(Parser, AssignIsRightAssociativeAndLoose) {
+  // `a := b` with an application on the right.
+  auto M = parseOrDie(
+      "let a = ref (fn x => x) in let f = fn z => z in a := f (fn w => w)");
+  ASSERT_TRUE(M);
+}
+
+TEST(Parser, IfThenElse) {
+  auto M = parseOrDie("if true then 1 else 2");
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(isa<IfExpr>(M->expr(M->root())));
+}
+
+TEST(Parser, CaseArmsAdmitOpenExpressions) {
+  // Arm bodies are full expressions: a bare lambda ends at `|`/`end`.
+  auto M = parseOrDie("data D = C | E;\n"
+                      "case C of C => fn x => x | E => fn y => y end");
+  ASSERT_TRUE(M);
+  const auto *Case = cast<CaseExpr>(M->expr(M->root()));
+  ASSERT_EQ(Case->arms().size(), 2u);
+  EXPECT_TRUE(isa<LamExpr>(M->expr(Case->arms()[0].Body)));
+  EXPECT_TRUE(isa<LamExpr>(M->expr(Case->arms()[1].Body)));
+}
+
+TEST(Parser, NestedCaseInArmBody) {
+  auto M = parseOrDie(
+      "data D = C | E;\n"
+      "case C of C => case E of C => 1 | E => 2 end | E => 3 end");
+  ASSERT_TRUE(M);
+  const auto *Outer = cast<CaseExpr>(M->expr(M->root()));
+  ASSERT_EQ(Outer->arms().size(), 2u);
+  EXPECT_TRUE(isa<CaseExpr>(M->expr(Outer->arms()[0].Body)));
+}
+
+TEST(Parser, EmptyProgramIsError) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(parseProgram("", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, TrailingGarbageIsError) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(parseProgram("1 )", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, EachAbstractionGetsAUniqueLabel) {
+  auto M = parseOrDie("(fn x => x) (fn y => y)");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->numLabels(), 2u);
+  EXPECT_NE(M->lamOfLabel(LabelId(0)), M->lamOfLabel(LabelId(1)));
+}
+
+//===----------------------------------------------------------------------===//
+// Printer round trips
+//===----------------------------------------------------------------------===//
+
+/// Printing a parsed program and reparsing it must preserve the structure
+/// (same kinds/sizes); printing again must be a fixed point.
+void roundTrip(const std::string &Source) {
+  auto M1 = parseOrDie(Source);
+  ASSERT_TRUE(M1);
+  std::string P1 = printProgram(*M1);
+  DiagnosticEngine Diags;
+  auto M2 = parseProgram(P1, Diags);
+  ASSERT_TRUE(M2) << "reparse failed for:\n" << P1 << Diags.render();
+  EXPECT_EQ(M1->numExprs(), M2->numExprs()) << P1;
+  EXPECT_EQ(M1->numLabels(), M2->numLabels()) << P1;
+  EXPECT_EQ(P1, printProgram(*M2)) << "printer not a fixed point";
+}
+
+TEST(Printer, RoundTripCore) {
+  roundTrip("fn x => x");
+  roundTrip("(fn x => x x) (fn y => y)");
+  roundTrip("let f = fn x => fn y => x in f 1 2");
+  roundTrip("letrec loop = fn n => if n < 1 then 0 else loop (n - 1) in "
+            "loop 10");
+}
+
+TEST(Printer, RoundTripOperators) {
+  roundTrip("1 + 2 * 3 - 4 / 5");
+  roundTrip("(1 + 2) * 3");
+  roundTrip("if 1 < 2 then 1 == 1 else 2 <= 3");
+  roundTrip("not (1 < 2)");
+}
+
+TEST(Printer, RoundTripData) {
+  roundTrip("data IntList = Nil | Cons(Int, IntList);\n"
+            "case Cons(1, Nil) of Nil => 0 | Cons(h, t) => h + 1 end");
+  roundTrip("data Shape = Circle(Int) | Rect(Int, Int);\n"
+            "case Circle(3) of Circle(r) => r * r | Rect(w, h) => w * h end");
+}
+
+TEST(Printer, RoundTripTuplesAndRefs) {
+  roundTrip("#1 (1, (2, 3))");
+  roundTrip("let r = ref 1 in (r := 2, !r)");
+  roundTrip("print \"hello\"");
+}
+
+} // namespace

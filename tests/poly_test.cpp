@@ -1,0 +1,216 @@
+//===-- tests/poly_test.cpp - Polyvariance (Section 7) tests --------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/StandardCFA.h"
+#include "core/Reachability.h"
+#include "gen/Generators.h"
+#include "interp/Interpreter.h"
+#include "poly/Polyvariant.h"
+
+using namespace stcfa;
+
+namespace {
+
+/// Expressions outside every summarized candidate's body have meaningful
+/// polyvariant results; internal occurrences do not (they have no single
+/// instance identity — the paper's copies).  This helper collects the
+/// external ones: everything not inside a non-recursive let-bound lambda.
+std::vector<ExprId> externalExprs(const Module &M) {
+  std::vector<bool> Internal(M.numExprs(), false);
+  forEachExprPreorder(M, M.root(), [&](ExprId, const Expr *E) {
+    const auto *L = dyn_cast<LetExpr>(E);
+    if (!L || L->isRec() || !isa<LamExpr>(M.expr(L->init())))
+      return;
+    forEachExprPreorder(M, L->init(), [&](ExprId Sub, const Expr *) {
+      Internal[Sub.index()] = true;
+    });
+  });
+  std::vector<ExprId> Out;
+  for (uint32_t I = 0; I != M.numExprs(); ++I)
+    if (!Internal[I])
+      Out.push_back(ExprId(I));
+  return Out;
+}
+
+TEST(Polyvariant, SeparatesCallSitesOfId) {
+  // The motivating win: monovariant CFA conflates id's two uses,
+  // polyvariant analysis keeps them apart.
+  auto M = parseMaybeInfer(
+      "let id = fn x => x in (id (fn a => a), id (fn b => b))");
+  ASSERT_TRUE(M);
+
+  LabelId A = labelOfFnWithParam(*M, "a");
+  LabelId B = labelOfFnWithParam(*M, "b");
+  const auto *Let = cast<LetExpr>(M->expr(M->root()));
+  const auto *T = cast<TupleExpr>(M->expr(Let->body()));
+
+  // Monovariant: both components see both labels.
+  StandardCFA Std(*M);
+  Std.run();
+  EXPECT_TRUE(Std.labelSet(T->elems()[0]).contains(B.index()));
+
+  // Polyvariant: the first component sees only `a`.
+  PolyvariantCFA Poly(*M);
+  Poly.run();
+  EXPECT_EQ(Poly.stats().Summarized, 1u);
+  Reachability R(Poly.graph());
+  DenseBitset First = R.labelsOf(T->elems()[0]);
+  EXPECT_TRUE(First.contains(A.index()));
+  EXPECT_FALSE(First.contains(B.index()));
+  DenseBitset Second = R.labelsOf(T->elems()[1]);
+  EXPECT_TRUE(Second.contains(B.index()));
+  EXPECT_FALSE(Second.contains(A.index()));
+}
+
+TEST(Polyvariant, PaperSection7Example) {
+  // fn z => ((fn y => z) nil): the summary compresses to ran(e)->dom(e).
+  auto M = parseMaybeInfer("let f = fn z => (fn y => z) unit in "
+                           "(f (fn a => a), f (fn b => b))");
+  ASSERT_TRUE(M);
+  PolyvariantCFA Poly(*M);
+  Poly.run();
+  EXPECT_EQ(Poly.stats().Summarized, 1u);
+  Reachability R(Poly.graph());
+  const auto *Let = cast<LetExpr>(M->expr(M->root()));
+  const auto *T = cast<TupleExpr>(M->expr(Let->body()));
+  LabelId A = labelOfFnWithParam(*M, "a");
+  LabelId B = labelOfFnWithParam(*M, "b");
+  DenseBitset First = R.labelsOf(T->elems()[0]);
+  EXPECT_TRUE(First.contains(A.index()));
+  EXPECT_FALSE(First.contains(B.index()));
+}
+
+TEST(Polyvariant, HigherOrderArgumentFlows) {
+  // apply = fn g => fn x => g x; the instantiated summary must route both
+  // the argument and the result through the context's function.
+  auto M = parseMaybeInfer("let apply = fn g => fn x => g x in "
+                           "(apply (fn a => a)) (fn c => c)");
+  ASSERT_TRUE(M);
+  PolyvariantCFA Poly(*M);
+  Poly.run();
+  ASSERT_EQ(Poly.stats().Summarized, 1u);
+  Reachability R(Poly.graph());
+  // The whole program evaluates to (fn a => a) applied to (fn c => c),
+  // i.e. to fn c => c.
+  DenseBitset Result = R.labelsOf(M->root());
+  EXPECT_TRUE(Result.contains(labelOfFnWithParam(*M, "c").index()));
+  EXPECT_FALSE(Result.contains(labelOfFnWithParam(*M, "g").index()));
+}
+
+TEST(Polyvariant, FreeVariablesUseSharedAnchors) {
+  auto M = parseMaybeInfer("let outer = fn q => q in "
+                           "let usesFree = fn x => outer x in "
+                           "usesFree (fn a => a)");
+  ASSERT_TRUE(M);
+  PolyvariantCFA Poly(*M);
+  Poly.run();
+  // Both functions summarize; `usesFree`'s summary routes through the
+  // shared `outer` binder anchor.
+  EXPECT_EQ(Poly.stats().Candidates, 2u);
+  EXPECT_EQ(Poly.stats().Fallbacks, 0u);
+  EXPECT_EQ(Poly.stats().Summarized, 2u);
+  // The call still resolves through the free variable.
+  Reachability R(Poly.graph());
+  EXPECT_TRUE(
+      R.labelsOf(M->root()).contains(labelOfFnWithParam(*M, "a").index()));
+}
+
+TEST(Polyvariant, SharedAnchorsDoNotLeakAcrossInstances) {
+  // Two uses of `wrap` with different arguments; `wrap` calls through the
+  // free variable `call`.  Instances must stay separate even though the
+  // `call` anchor is shared.
+  auto M = parseMaybeInfer("let call = fn f => f 1 in "
+                           "let wrap = fn g => call g in "
+                           "(wrap (fn a => a), wrap (fn b => b + 1))");
+  ASSERT_TRUE(M);
+  PolyvariantCFA Poly(*M);
+  Poly.run();
+  // Both wrap (free var: call) and call (closed) summarize.
+  EXPECT_EQ(Poly.stats().Summarized, 2u);
+  // External soundness versus the concrete run (internal binders of
+  // summarized functions have per-instance identity and are out of scope
+  // for shared queries; see the class comment in Polyvariant.h).
+  InterpreterResult Dyn = interpret(*M);
+  ASSERT_TRUE(Dyn.Completed) << Dyn.Abort;
+  Reachability R(Poly.graph());
+  for (ExprId E : externalExprs(*M)) {
+    EXPECT_TRUE(R.labelsOf(E).containsAll(Dyn.LabelsAt[E.index()]))
+        << "expr " << E.index();
+  }
+}
+
+TEST(Polyvariant, DatatypeTypedCandidateFallsBack) {
+  auto M = parseMaybeInfer("data Box = MkBox(Int -> Int);\n"
+                           "let boxer = fn f => MkBox(f) in "
+                           "case boxer (fn a => a) of MkBox(g) => g 1 end");
+  ASSERT_TRUE(M);
+  PolyvariantCFA Poly(*M);
+  Poly.run();
+  // boxer's result type mentions a datatype: monovariant fallback.
+  EXPECT_EQ(Poly.stats().Fallbacks, 1u);
+  // With the fallback in place the flow still resolves: `g` is fn a.
+  Reachability R(Poly.graph());
+  EXPECT_TRUE(R.labelsOfVar(varNamed(*M, "g"))
+                  .contains(labelOfFnWithParam(*M, "a").index()));
+}
+
+TEST(Polyvariant, OccurrenceBudgetFallsBack) {
+  std::string Src = "let id = fn x => x in (";
+  for (int I = 0; I < 5; ++I)
+    Src += (I ? ", id (fn a" : "id (fn a") + std::to_string(I) + " => a" +
+           std::to_string(I) + ")";
+  Src += ")";
+  auto M = parseMaybeInfer(Src);
+  ASSERT_TRUE(M);
+  PolyConfig PC;
+  PC.MaxOccurrences = 3; // five uses exceed the budget
+  PolyvariantCFA Poly(*M, SubtransitiveConfig{}, PC);
+  Poly.run();
+  EXPECT_EQ(Poly.stats().Fallbacks, 1u);
+  EXPECT_EQ(Poly.stats().Instantiations, 0u);
+}
+
+TEST(Polyvariant, UncalledCandidateIsHarmless) {
+  auto M = parseMaybeInfer("let dead = fn x => x in fn live => live");
+  ASSERT_TRUE(M);
+  PolyvariantCFA Poly(*M);
+  Poly.run();
+  Reachability R(Poly.graph());
+  EXPECT_TRUE(R.labelsOf(M->root())
+                  .contains(labelOfFnWithParam(*M, "live").index()));
+}
+
+class PolyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolyProperty, NeverCoarserThanMonovariant) {
+  RandomProgramOptions O;
+  O.Seed = GetParam();
+  O.NumBindings = 50;
+  O.UseDatatypes = false; // datatype-typed candidates just fall back
+  auto M = parseAndInfer(makeRandomProgram(O));
+  ASSERT_TRUE(M);
+
+  StandardCFA Std(*M);
+  Std.run();
+  PolyvariantCFA Poly(*M);
+  Poly.run();
+  Reachability R(Poly.graph());
+
+  for (ExprId E : externalExprs(*M)) {
+    DenseBitset Mono = Std.labelSet(E);
+    DenseBitset P = R.labelsOf(E);
+    EXPECT_TRUE(Mono.containsAll(P))
+        << "poly coarser than mono at expr " << E.index() << " seed "
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyProperty,
+                         ::testing::Range<uint64_t>(900, 920));
+
+} // namespace

@@ -1,0 +1,207 @@
+//===-- tests/property_equivalence_test.cpp - Randomized Prop. 1/2 --------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based check of the paper's Propositions 1/2 over seeded random
+/// programs: for every expression occurrence and binder,
+///
+///   * without refs: reachability over the subtransitive graph equals the
+///     standard (cubic) analysis exactly, under every closure policy;
+///   * with refs/effects: reachability is a superset (sound), because the
+///     graph closes ref cells invariantly;
+///   * congruences ≈1/≈2 are supersets of the exact analysis, and ≈2 is
+///     never coarser than ≈1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/StandardCFA.h"
+#include "core/Reachability.h"
+#include "gen/Generators.h"
+
+using namespace stcfa;
+
+namespace {
+
+struct Verdict {
+  bool Sound = true;
+  bool Exact = true;
+  std::string Witness;
+};
+
+Verdict compare(const Module &M, SubtransitiveConfig Config) {
+  StandardCFA Std(M);
+  Std.run();
+  SubtransitiveGraph G(M, Config);
+  G.build();
+  G.close();
+  Reachability R(G);
+
+  Verdict V;
+  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+    DenseBitset Want = Std.labelSet(ExprId(I));
+    DenseBitset Got = R.labelsOf(ExprId(I));
+    if (Got == Want)
+      continue;
+    V.Exact = false;
+    if (!Got.containsAll(Want)) {
+      V.Sound = false;
+      V.Witness = "expr " + std::to_string(I);
+      return V;
+    }
+  }
+  for (uint32_t I = 0, E = M.numVars(); I != E; ++I) {
+    DenseBitset Want = Std.labelSetOfVar(VarId(I));
+    DenseBitset Got = R.labelsOfVar(VarId(I));
+    if (Got == Want)
+      continue;
+    V.Exact = false;
+    if (!Got.containsAll(Want)) {
+      V.Sound = false;
+      V.Witness = "var " + std::to_string(I);
+      return V;
+    }
+  }
+  return V;
+}
+
+class PureProgramProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PureProgramProperty, GraphEqualsStandardCFA) {
+  RandomProgramOptions O;
+  O.Seed = GetParam();
+  O.NumBindings = 80;
+  O.UseRefs = false;
+  O.UseEffects = false;
+  std::string Src = makeRandomProgram(O);
+  auto M = parseAndInfer(Src);
+  ASSERT_TRUE(M);
+
+  for (ClosurePolicy P :
+       {ClosurePolicy::PaperExact, ClosurePolicy::NodeExists}) {
+    SubtransitiveConfig C;
+    C.Policy = P;
+    C.Congruence = CongruenceMode::None;
+    Verdict V = compare(*M, C);
+    EXPECT_TRUE(V.Sound) << "policy " << static_cast<int>(P) << " unsound at "
+                         << V.Witness << "\nseed " << GetParam();
+    EXPECT_TRUE(V.Exact) << "policy " << static_cast<int>(P)
+                         << " inexact, seed " << GetParam();
+  }
+
+  // The undemanded LC materializes full type templates, which are infinite
+  // for recursive datatypes (the paper's non-termination caveat) — our
+  // widening makes that sound but coarse.  It stays exact on programs
+  // whose type templates are finite.
+  {
+    SubtransitiveConfig C;
+    C.Policy = ClosurePolicy::Undemanded;
+    C.Congruence = CongruenceMode::None;
+    Verdict V = compare(*M, C);
+    EXPECT_TRUE(V.Sound) << "undemanded unsound at " << V.Witness
+                         << ", seed " << GetParam();
+
+    RandomProgramOptions O2 = O;
+    O2.UseDatatypes = false;
+    auto M2 = parseAndInfer(makeRandomProgram(O2));
+    ASSERT_TRUE(M2);
+    Verdict V2 = compare(*M2, C);
+    EXPECT_TRUE(V2.Sound) << "undemanded unsound at " << V2.Witness
+                          << ", seed " << GetParam();
+    EXPECT_TRUE(V2.Exact) << "undemanded inexact on finite-template program,"
+                          << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PureProgramProperty,
+                         ::testing::Range<uint64_t>(100, 140));
+
+class RefProgramProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RefProgramProperty, GraphIsSound) {
+  RandomProgramOptions O;
+  O.Seed = GetParam();
+  O.NumBindings = 80;
+  O.UseRefs = true;
+  O.UseEffects = true;
+  auto M = parseAndInfer(makeRandomProgram(O));
+  ASSERT_TRUE(M);
+
+  SubtransitiveConfig C;
+  C.Congruence = CongruenceMode::None;
+  Verdict V = compare(*M, C);
+  EXPECT_TRUE(V.Sound) << "unsound at " << V.Witness << ", seed "
+                       << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefProgramProperty,
+                         ::testing::Range<uint64_t>(200, 230));
+
+class CongruenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CongruenceProperty, CongruencesAreSoundAndOrdered) {
+  RandomProgramOptions O;
+  O.Seed = GetParam();
+  O.NumBindings = 60;
+  auto M = parseAndInfer(makeRandomProgram(O));
+  ASSERT_TRUE(M);
+
+  SubtransitiveConfig C1;
+  C1.Congruence = CongruenceMode::ByType;
+  Verdict V1 = compare(*M, C1);
+  EXPECT_TRUE(V1.Sound) << "≈1 unsound at " << V1.Witness << ", seed "
+                        << GetParam();
+
+  SubtransitiveConfig C2;
+  C2.Congruence = CongruenceMode::ByBaseAndType;
+  Verdict V2 = compare(*M, C2);
+  EXPECT_TRUE(V2.Sound) << "≈2 unsound at " << V2.Witness << ", seed "
+                        << GetParam();
+
+  // ≈2 is finer than ≈1: its result must be contained in ≈1's.
+  SubtransitiveGraph G1(*M, C1), G2(*M, C2);
+  G1.build();
+  G1.close();
+  G2.build();
+  G2.close();
+  Reachability R1(G1), R2(G2);
+  for (uint32_t I = 0, E = M->numExprs(); I != E; ++I) {
+    DenseBitset S1 = R1.labelsOf(ExprId(I));
+    DenseBitset S2 = R2.labelsOf(ExprId(I));
+    EXPECT_TRUE(S1.containsAll(S2))
+        << "≈2 coarser than ≈1 at expr " << I << ", seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CongruenceProperty,
+                         ::testing::Range<uint64_t>(300, 320));
+
+class CorpusEquivalence : public ::testing::Test {};
+
+TEST(CorpusEquivalence, CubicFamilyExact) {
+  for (int N : {1, 2, 4, 8, 16}) {
+    auto M = parseAndInfer(makeCubicFamily(N));
+    ASSERT_TRUE(M);
+    SubtransitiveConfig C;
+    C.Congruence = CongruenceMode::None;
+    Verdict V = compare(*M, C);
+    EXPECT_TRUE(V.Sound) << "size " << N << " at " << V.Witness;
+    EXPECT_TRUE(V.Exact) << "size " << N;
+  }
+}
+
+TEST(CorpusEquivalence, JoinPointFamilyExact) {
+  auto M = parseAndInfer(makeJoinPointFamily(12));
+  ASSERT_TRUE(M);
+  SubtransitiveConfig C;
+  C.Congruence = CongruenceMode::None;
+  Verdict V = compare(*M, C);
+  EXPECT_TRUE(V.Sound) << V.Witness;
+  EXPECT_TRUE(V.Exact);
+}
+
+} // namespace

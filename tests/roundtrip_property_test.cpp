@@ -1,0 +1,98 @@
+//===-- tests/roundtrip_property_test.cpp - Print/parse round trips -------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property: for any program in the corpus, printing and reparsing
+/// preserves the AST shape *and the analysis results* (same label-set mass
+/// under standard CFA), and the printer is a fixed point on its own
+/// output.  This pins the printer and parser against each other across
+/// the whole construct surface.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/StandardCFA.h"
+#include "ast/Printer.h"
+#include "gen/Corpus.h"
+#include "gen/Generators.h"
+
+using namespace stcfa;
+
+namespace {
+
+uint64_t analysisFingerprint(const Module &M) {
+  StandardCFA Std(M);
+  Std.run();
+  // Order-independent summary: per-occurrence set sizes in traversal
+  // order plus total mass.
+  uint64_t H = 1469598103934665603ull;
+  forEachExprPreorder(M, M.root(), [&](ExprId Id, const Expr *E) {
+    H = (H ^ Std.labelSet(Id).count()) * 1099511628211ull;
+    H = (H ^ static_cast<uint64_t>(E->kind())) * 1099511628211ull;
+  });
+  return H;
+}
+
+void roundTripsFaithfully(const std::string &Source) {
+  auto M1 = parseMaybeInfer(Source);
+  ASSERT_TRUE(M1);
+  std::string P1 = printProgram(*M1);
+  DiagnosticEngine Diags;
+  auto M2 = parseProgram(P1, Diags);
+  ASSERT_TRUE(M2) << "reparse failed:\n" << Diags.render() << P1;
+  DiagnosticEngine D2;
+  (void)inferTypes(*M2, D2);
+
+  EXPECT_EQ(M1->numExprs(), M2->numExprs());
+  EXPECT_EQ(M1->numLabels(), M2->numLabels());
+  EXPECT_EQ(M1->numVars(), M2->numVars());
+  EXPECT_EQ(P1, printProgram(*M2)) << "printer not a fixed point";
+  EXPECT_EQ(analysisFingerprint(*M1), analysisFingerprint(*M2))
+      << "analysis results changed across the round trip";
+}
+
+class RandomRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomRoundTrip, PreservesShapeAndAnalysis) {
+  RandomProgramOptions O;
+  O.Seed = GetParam();
+  O.NumBindings = 70;
+  O.UseRefs = true;
+  O.UseEffects = true;
+  roundTripsFaithfully(makeRandomProgram(O));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoundTrip,
+                         ::testing::Range<uint64_t>(1400, 1425));
+
+TEST(CorpusRoundTrip, Life) { roundTripsFaithfully(lifeProgram()); }
+
+TEST(CorpusRoundTrip, MiniEval) {
+  roundTripsFaithfully(miniEvalProgram());
+}
+
+TEST(CorpusRoundTrip, ParserCombo) {
+  roundTripsFaithfully(parserComboProgram());
+}
+
+TEST(CorpusRoundTrip, Lexgen) {
+  roundTripsFaithfully(makeLexgenLike(25));
+}
+
+TEST(CorpusRoundTrip, CubicFamily) {
+  roundTripsFaithfully(makeCubicFamily(12));
+}
+
+TEST(CorpusRoundTrip, DispatchFamily) {
+  roundTripsFaithfully(makeDispatchFamily(12));
+}
+
+TEST(CorpusRoundTrip, EffectsFamily) {
+  roundTripsFaithfully(makeEffectsFamily(12));
+}
+
+} // namespace

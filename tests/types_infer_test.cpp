@@ -1,0 +1,220 @@
+//===-- tests/types_infer_test.cpp - Type table and HM inference ----------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "sema/Infer.h"
+#include "types/Type.h"
+
+using namespace stcfa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// TypeTable
+//===----------------------------------------------------------------------===//
+
+TEST(TypeTable, HashConsing) {
+  TypeTable TT;
+  TypeId A = TT.arrowType(TT.intType(), TT.boolType());
+  TypeId B = TT.arrowType(TT.intType(), TT.boolType());
+  EXPECT_EQ(A, B);
+  TypeId C = TT.arrowType(TT.boolType(), TT.intType());
+  EXPECT_NE(A, C);
+}
+
+TEST(TypeTable, TreeSize) {
+  TypeTable TT;
+  EXPECT_EQ(TT.treeSize(TT.intType()), 1u);
+  TypeId F = TT.arrowType(TT.intType(), TT.intType());
+  EXPECT_EQ(TT.treeSize(F), 3u);
+  TypeId P = TT.tupleType({F, TT.boolType()});
+  EXPECT_EQ(TT.treeSize(P), 5u);
+}
+
+TEST(TypeTable, OrderAndArity) {
+  TypeTable TT;
+  TypeId I2I = TT.arrowType(TT.intType(), TT.intType());
+  EXPECT_EQ(TT.order(I2I), 1u);
+  EXPECT_EQ(TT.arity(I2I), 1u);
+  // (Int -> Int) -> Int list-ish: order 2, curried arity counting per the
+  // paper ("curried integer map has arity 2 and order 2").
+  TypeId HOF = TT.arrowType(I2I, TT.arrowType(TT.intType(), TT.intType()));
+  EXPECT_EQ(TT.order(HOF), 2u);
+  EXPECT_EQ(TT.arity(HOF), 2u);
+  EXPECT_EQ(TT.order(TT.intType()), 0u);
+}
+
+TEST(TypeTable, Render) {
+  TypeTable TT;
+  StringInterner SI;
+  TypeId F = TT.arrowType(TT.arrowType(TT.intType(), TT.boolType()),
+                          TT.unitType());
+  EXPECT_EQ(TT.render(F, SI), "(Int -> Bool) -> Unit");
+  TypeId P = TT.tupleType({TT.intType(), TT.refType(TT.boolType())});
+  EXPECT_EQ(TT.render(P, SI), "(Int, Ref Bool)");
+  Symbol D = SI.intern("IntList");
+  EXPECT_EQ(TT.render(TT.dataType(D), SI), "IntList");
+}
+
+//===----------------------------------------------------------------------===//
+// Inference: successes
+//===----------------------------------------------------------------------===//
+
+/// Renders the inferred type of the root expression.
+std::string rootType(const std::string &Source) {
+  auto M = parseAndInfer(Source);
+  if (!M)
+    return "<error>";
+  return M->types().render(M->expr(M->root())->type(), M->strings());
+}
+
+TEST(Infer, Literals) {
+  EXPECT_EQ(rootType("42"), "Int");
+  EXPECT_EQ(rootType("true"), "Bool");
+  EXPECT_EQ(rootType("unit"), "Unit");
+  EXPECT_EQ(rootType("\"s\""), "String");
+}
+
+TEST(Infer, Functions) {
+  EXPECT_EQ(rootType("fn x => x + 1"), "Int -> Int");
+  EXPECT_EQ(rootType("(fn x => x) 3"), "Int");
+  EXPECT_EQ(rootType("fn f => f 1 + 1"), "(Int -> Int) -> Int");
+}
+
+TEST(Infer, LetPolymorphism) {
+  // id is used at Int and at Bool: requires generalization.
+  EXPECT_EQ(rootType("let id = fn x => x in if id true then id 1 else 2"),
+            "Int");
+  // Self-application of polymorphic id (the classic let-poly example).
+  EXPECT_EQ(rootType("let id = fn x => x in (id id) 7"), "Int");
+}
+
+TEST(Infer, LambdasAreMonomorphic) {
+  // The same program with a lambda-bound id must fail.
+  DiagnosticEngine Diags;
+  auto M = parseProgram(
+      "(fn id => if id true then id 1 else 2) (fn x => x)", Diags);
+  ASSERT_TRUE(M);
+  DiagnosticEngine InferDiags;
+  EXPECT_FALSE(inferTypes(*M, InferDiags));
+}
+
+TEST(Infer, LetRec) {
+  EXPECT_EQ(rootType("letrec fact = fn n => if n == 0 then 1 else "
+                     "n * fact (n - 1) in fact"),
+            "Int -> Int");
+}
+
+TEST(Infer, TuplesAndProjections) {
+  EXPECT_EQ(rootType("(1, true)"), "(Int, Bool)");
+  EXPECT_EQ(rootType("#2 (1, true)"), "Bool");
+}
+
+TEST(Infer, DeferredProjectionThroughUse) {
+  // `#1 p` inside the lambda is resolved by the later application.
+  EXPECT_EQ(rootType("let fst = fn p => #1 p in fst (7, true)"), "Int");
+}
+
+TEST(Infer, Datatypes) {
+  EXPECT_EQ(rootType("data IntList = INil | ICons(Int, IntList);\n"
+                     "ICons(1, INil)"),
+            "IntList");
+  EXPECT_EQ(rootType("data IntList = INil | ICons(Int, IntList);\n"
+                     "case ICons(1, INil) of INil => 0 | ICons(h, t) => h "
+                     "end"),
+            "Int");
+}
+
+TEST(Infer, Refs) {
+  EXPECT_EQ(rootType("ref 1"), "Ref Int");
+  EXPECT_EQ(rootType("!(ref 1)"), "Int");
+  EXPECT_EQ(rootType("let r = ref 1 in r := 2"), "Unit");
+}
+
+TEST(Infer, ValueRestriction) {
+  // `ref (fn x => x)` must not generalize: using the cell at two types is
+  // an error.
+  DiagnosticEngine Diags;
+  auto M = parseProgram("let r = ref (fn x => x) in "
+                        "let u = r := (fn b => b + 1) in (!r) true",
+                        Diags);
+  ASSERT_TRUE(M);
+  DiagnosticEngine InferDiags;
+  EXPECT_FALSE(inferTypes(*M, InferDiags));
+}
+
+TEST(Infer, EveryOccurrenceGetsAType) {
+  auto M = parseAndInfer("let id = fn x => x in (id 1, id true)");
+  ASSERT_TRUE(M);
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    EXPECT_TRUE(M->expr(ExprId(I))->type().isValid()) << "expr " << I;
+}
+
+TEST(Infer, OccurrencesGetInstantiatedMonotypes) {
+  auto M = parseAndInfer("let id = fn x => x in (id 1, id true)");
+  ASSERT_TRUE(M);
+  // The two occurrences of id have different instantiated types — exactly
+  // the let-expansion monotypes of the paper's Section 5.
+  std::vector<std::string> Types;
+  forEachExprPreorder(*M, M->root(), [&](ExprId, const Expr *E) {
+    if (isa<VarExpr>(E) && M->text(M->var(cast<VarExpr>(E)->var()).Name) ==
+                               "id")
+      Types.push_back(M->types().render(E->type(), M->strings()));
+  });
+  ASSERT_EQ(Types.size(), 2u);
+  EXPECT_EQ(Types[0], "Int -> Int");
+  EXPECT_EQ(Types[1], "Bool -> Bool");
+}
+
+//===----------------------------------------------------------------------===//
+// Inference: failures
+//===----------------------------------------------------------------------===//
+
+void expectIllTyped(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto M = parseProgram(Source, Diags);
+  ASSERT_TRUE(M) << Diags.render();
+  DiagnosticEngine InferDiags;
+  EXPECT_FALSE(inferTypes(*M, InferDiags)) << Source;
+  EXPECT_TRUE(InferDiags.hasErrors());
+}
+
+TEST(Infer, Mismatches) {
+  expectIllTyped("1 + true");
+  expectIllTyped("if 1 then 2 else 3");
+  expectIllTyped("(fn x => x x) (fn y => y)"); // occurs check
+  expectIllTyped("#3 (1, 2)");                 // index out of range
+  expectIllTyped("#1 5");                      // projection of non-tuple
+  expectIllTyped("not 3");
+  expectIllTyped("fn p => #1 p");              // unresolved flex projection
+  expectIllTyped("data D = C(Int);\nC(true)");
+  expectIllTyped("data D = C(Int);\nif true then C(1) else 2");
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, BoundedTypeFamilyHasSmallKAvg) {
+  auto M = parseAndInfer("let id = fn x => x + 1 in id (id (id 3))");
+  ASSERT_TRUE(M);
+  TypeMetrics TM = computeTypeMetrics(*M);
+  EXPECT_GE(TM.AvgTypeSize, 1.0);
+  EXPECT_LE(TM.AvgTypeSize, 4.0); // the paper's "around 2 or 3"
+  EXPECT_EQ(TM.MaxOrder, 1u);
+  EXPECT_EQ(TM.MaxTypeSize, 3u);
+}
+
+TEST(Metrics, OrderGrowsWithHigherOrderCode) {
+  auto M = parseAndInfer("fn f => fn x => f (f x) + 1");
+  ASSERT_TRUE(M);
+  TypeMetrics TM = computeTypeMetrics(*M);
+  EXPECT_EQ(TM.MaxOrder, 2u);
+  EXPECT_EQ(TM.MaxArity, 2u);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+//===-- tests/unify_test.cpp - Equality-based flow analysis tests ---------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/StandardCFA.h"
+#include "gen/Generators.h"
+#include "unify/UnificationCFA.h"
+
+using namespace stcfa;
+
+namespace {
+
+TEST(Unification, Identity) {
+  auto M = parseMaybeInfer("(fn f => f) (fn y => y)");
+  ASSERT_TRUE(M);
+  UnificationCFA U(*M);
+  U.run();
+  LabelId Y = labelOfFnWithParam(*M, "y");
+  EXPECT_TRUE(U.labelSet(M->root()).contains(Y.index()));
+}
+
+TEST(Unification, MergesFlowsThatInclusionKeepsApart) {
+  // `k` flows into both id1 and id2; unification therefore merges the two
+  // parameters, so the extra argument `m` of id1 leaks into id2's
+  // parameter.  Inclusion-based CFA keeps them apart.
+  auto M = parseMaybeInfer("let id1 = fn x => x in "
+                           "let id2 = fn y => y in "
+                           "let k = fn a => a in "
+                           "let m = fn b => b in "
+                           "let r1 = id1 k in "
+                           "let r2 = id1 m in "
+                           "let r3 = id2 k in r3");
+  ASSERT_TRUE(M);
+  UnificationCFA U(*M);
+  U.run();
+  StandardCFA Std(*M);
+  Std.run();
+  VarId Y = varNamed(*M, "y");
+  LabelId A = labelOfFnWithParam(*M, "a");
+  LabelId B = labelOfFnWithParam(*M, "b");
+  // Inclusion: y binds only k.
+  DenseBitset Precise = Std.labelSetOfVar(Y);
+  EXPECT_TRUE(Precise.contains(A.index()));
+  EXPECT_FALSE(Precise.contains(B.index()));
+  // Unification: y's class absorbed m as well.
+  DenseBitset Coarse = U.labelSetOfVar(Y);
+  EXPECT_TRUE(Coarse.contains(A.index()));
+  EXPECT_TRUE(Coarse.contains(B.index()));
+}
+
+TEST(Unification, TracksThroughTuples) {
+  auto M = parseMaybeInfer("#1 (fn a => a, 1)");
+  ASSERT_TRUE(M);
+  UnificationCFA U(*M);
+  U.run();
+  EXPECT_TRUE(
+      U.labelSet(M->root()).contains(labelOfFnWithParam(*M, "a").index()));
+}
+
+TEST(Unification, TracksThroughConstructorsAndRefs) {
+  auto M = parseMaybeInfer(
+      "data Box = MkBox(Int -> Int);\n"
+      "let b = MkBox(fn a => a) in "
+      "let r = ref (fn c => c) in "
+      "let u = r := (case b of MkBox(f) => f end) in !r");
+  ASSERT_TRUE(M);
+  UnificationCFA U(*M);
+  U.run();
+  const auto *L1 = cast<LetExpr>(M->expr(M->root()));
+  const auto *L2 = cast<LetExpr>(M->expr(L1->body()));
+  const auto *L3 = cast<LetExpr>(M->expr(L2->body()));
+  DenseBitset Read = U.labelSet(L3->body());
+  EXPECT_TRUE(Read.contains(labelOfFnWithParam(*M, "a").index()));
+  EXPECT_TRUE(Read.contains(labelOfFnWithParam(*M, "c").index()));
+}
+
+class UnificationSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnificationSoundness, ContainsStandardCFA) {
+  RandomProgramOptions O;
+  O.Seed = GetParam();
+  O.NumBindings = 60;
+  O.UseRefs = true;
+  O.UseEffects = true;
+  auto M = parseAndInfer(makeRandomProgram(O));
+  ASSERT_TRUE(M);
+  UnificationCFA U(*M);
+  U.run();
+  StandardCFA Std(*M);
+  Std.run();
+  for (uint32_t I = 0, N = M->numExprs(); I != N; ++I) {
+    EXPECT_TRUE(U.labelSet(ExprId(I)).containsAll(Std.labelSet(ExprId(I))))
+        << "expr " << I << " seed " << GetParam();
+  }
+  for (uint32_t V = 0, N = M->numVars(); V != N; ++V) {
+    EXPECT_TRUE(
+        U.labelSetOfVar(VarId(V)).containsAll(Std.labelSetOfVar(VarId(V))))
+        << "var " << V << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnificationSoundness,
+                         ::testing::Range<uint64_t>(800, 825));
+
+TEST(Unification, CubicFamilyCollapsesEverything) {
+  // On the cubic family, unification merges the whole f/b universe — the
+  // precision loss the paper's algorithm avoids.
+  auto M = parseAndInfer(makeCubicFamily(4));
+  ASSERT_TRUE(M);
+  UnificationCFA U(*M);
+  U.run();
+  StandardCFA Std(*M);
+  Std.run();
+  uint64_t UnifySize = 0, StdSize = 0;
+  for (uint32_t I = 0, N = M->numExprs(); I != N; ++I) {
+    UnifySize += U.labelSet(ExprId(I)).count();
+    StdSize += Std.labelSet(ExprId(I)).count();
+  }
+  EXPECT_GT(UnifySize, StdSize);
+}
+
+} // namespace
