@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_demand.dir/bench_ablation_demand.cpp.o"
+  "CMakeFiles/bench_ablation_demand.dir/bench_ablation_demand.cpp.o.d"
+  "bench_ablation_demand"
+  "bench_ablation_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

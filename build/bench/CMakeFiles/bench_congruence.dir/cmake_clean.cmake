@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_congruence.dir/bench_congruence.cpp.o"
+  "CMakeFiles/bench_congruence.dir/bench_congruence.cpp.o.d"
+  "bench_congruence"
+  "bench_congruence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_congruence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

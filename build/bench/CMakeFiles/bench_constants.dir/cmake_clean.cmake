@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_constants.dir/bench_constants.cpp.o"
+  "CMakeFiles/bench_constants.dir/bench_constants.cpp.o.d"
+  "bench_constants"
+  "bench_constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_effects.dir/bench_effects.cpp.o"
+  "CMakeFiles/bench_effects.dir/bench_effects.cpp.o.d"
+  "bench_effects"
+  "bench_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

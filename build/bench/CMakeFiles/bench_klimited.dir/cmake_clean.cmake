@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_klimited.dir/bench_klimited.cpp.o"
+  "CMakeFiles/bench_klimited.dir/bench_klimited.cpp.o.d"
+  "bench_klimited"
+  "bench_klimited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_klimited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

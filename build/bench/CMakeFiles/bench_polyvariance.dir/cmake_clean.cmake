@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_polyvariance.dir/bench_polyvariance.cpp.o"
+  "CMakeFiles/bench_polyvariance.dir/bench_polyvariance.cpp.o.d"
+  "bench_polyvariance"
+  "bench_polyvariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_polyvariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cubic.dir/bench_table1_cubic.cpp.o"
+  "CMakeFiles/bench_table1_cubic.dir/bench_table1_cubic.cpp.o.d"
+  "bench_table1_cubic"
+  "bench_table1_cubic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cubic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tour.dir/analysis_tour.cpp.o"
+  "CMakeFiles/analysis_tour.dir/analysis_tour.cpp.o.d"
+  "analysis_tour"
+  "analysis_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dead_code_reporter.dir/dead_code_reporter.cpp.o"
+  "CMakeFiles/dead_code_reporter.dir/dead_code_reporter.cpp.o.d"
+  "dead_code_reporter"
+  "dead_code_reporter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dead_code_reporter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

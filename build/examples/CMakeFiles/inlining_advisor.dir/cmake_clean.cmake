@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlining_advisor.dir/inlining_advisor.cpp.o"
+  "CMakeFiles/inlining_advisor.dir/inlining_advisor.cpp.o.d"
+  "inlining_advisor"
+  "inlining_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlining_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

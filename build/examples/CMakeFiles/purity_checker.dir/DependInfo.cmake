@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/purity_checker.cpp" "examples/CMakeFiles/purity_checker.dir/purity_checker.cpp.o" "gcc" "examples/CMakeFiles/purity_checker.dir/purity_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/stcfa_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/stcfa_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/stcfa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stcfa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/stcfa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/unify/CMakeFiles/stcfa_unify.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/stcfa_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/stcfa_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/stcfa_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/stcfa_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/stcfa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stcfa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

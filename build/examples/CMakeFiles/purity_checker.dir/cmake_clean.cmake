@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purity_checker.dir/purity_checker.cpp.o"
+  "CMakeFiles/purity_checker.dir/purity_checker.cpp.o.d"
+  "purity_checker"
+  "purity_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purity_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

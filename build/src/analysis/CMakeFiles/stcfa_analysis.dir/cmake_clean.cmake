@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_analysis.dir/DeadCodeAwareCFA.cpp.o"
+  "CMakeFiles/stcfa_analysis.dir/DeadCodeAwareCFA.cpp.o.d"
+  "CMakeFiles/stcfa_analysis.dir/HybridCFA.cpp.o"
+  "CMakeFiles/stcfa_analysis.dir/HybridCFA.cpp.o.d"
+  "CMakeFiles/stcfa_analysis.dir/StandardCFA.cpp.o"
+  "CMakeFiles/stcfa_analysis.dir/StandardCFA.cpp.o.d"
+  "libstcfa_analysis.a"
+  "libstcfa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

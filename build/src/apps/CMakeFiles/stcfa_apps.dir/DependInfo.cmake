@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/CallGraph.cpp" "src/apps/CMakeFiles/stcfa_apps.dir/CallGraph.cpp.o" "gcc" "src/apps/CMakeFiles/stcfa_apps.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/apps/EffectsAnalysis.cpp" "src/apps/CMakeFiles/stcfa_apps.dir/EffectsAnalysis.cpp.o" "gcc" "src/apps/CMakeFiles/stcfa_apps.dir/EffectsAnalysis.cpp.o.d"
+  "/root/repo/src/apps/KLimitedCFA.cpp" "src/apps/CMakeFiles/stcfa_apps.dir/KLimitedCFA.cpp.o" "gcc" "src/apps/CMakeFiles/stcfa_apps.dir/KLimitedCFA.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stcfa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/stcfa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/stcfa_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/stcfa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stcfa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_apps.dir/CallGraph.cpp.o"
+  "CMakeFiles/stcfa_apps.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/stcfa_apps.dir/EffectsAnalysis.cpp.o"
+  "CMakeFiles/stcfa_apps.dir/EffectsAnalysis.cpp.o.d"
+  "CMakeFiles/stcfa_apps.dir/KLimitedCFA.cpp.o"
+  "CMakeFiles/stcfa_apps.dir/KLimitedCFA.cpp.o.d"
+  "libstcfa_apps.a"
+  "libstcfa_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

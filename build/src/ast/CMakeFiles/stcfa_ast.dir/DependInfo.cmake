@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/Expr.cpp" "src/ast/CMakeFiles/stcfa_ast.dir/Expr.cpp.o" "gcc" "src/ast/CMakeFiles/stcfa_ast.dir/Expr.cpp.o.d"
+  "/root/repo/src/ast/Printer.cpp" "src/ast/CMakeFiles/stcfa_ast.dir/Printer.cpp.o" "gcc" "src/ast/CMakeFiles/stcfa_ast.dir/Printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/stcfa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/stcfa_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_ast.dir/Expr.cpp.o"
+  "CMakeFiles/stcfa_ast.dir/Expr.cpp.o.d"
+  "CMakeFiles/stcfa_ast.dir/Printer.cpp.o"
+  "CMakeFiles/stcfa_ast.dir/Printer.cpp.o.d"
+  "libstcfa_ast.a"
+  "libstcfa_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

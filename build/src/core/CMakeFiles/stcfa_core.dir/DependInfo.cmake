@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Compression.cpp" "src/core/CMakeFiles/stcfa_core.dir/Compression.cpp.o" "gcc" "src/core/CMakeFiles/stcfa_core.dir/Compression.cpp.o.d"
+  "/root/repo/src/core/Reachability.cpp" "src/core/CMakeFiles/stcfa_core.dir/Reachability.cpp.o" "gcc" "src/core/CMakeFiles/stcfa_core.dir/Reachability.cpp.o.d"
+  "/root/repo/src/core/SubtransitiveGraph.cpp" "src/core/CMakeFiles/stcfa_core.dir/SubtransitiveGraph.cpp.o" "gcc" "src/core/CMakeFiles/stcfa_core.dir/SubtransitiveGraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/stcfa_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/stcfa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stcfa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_core.dir/Compression.cpp.o"
+  "CMakeFiles/stcfa_core.dir/Compression.cpp.o.d"
+  "CMakeFiles/stcfa_core.dir/Reachability.cpp.o"
+  "CMakeFiles/stcfa_core.dir/Reachability.cpp.o.d"
+  "CMakeFiles/stcfa_core.dir/SubtransitiveGraph.cpp.o"
+  "CMakeFiles/stcfa_core.dir/SubtransitiveGraph.cpp.o.d"
+  "libstcfa_core.a"
+  "libstcfa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa.dir/Main.cpp.o"
+  "CMakeFiles/stcfa.dir/Main.cpp.o.d"
+  "stcfa"
+  "stcfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/Corpus.cpp" "src/gen/CMakeFiles/stcfa_gen.dir/Corpus.cpp.o" "gcc" "src/gen/CMakeFiles/stcfa_gen.dir/Corpus.cpp.o.d"
+  "/root/repo/src/gen/Generators.cpp" "src/gen/CMakeFiles/stcfa_gen.dir/Generators.cpp.o" "gcc" "src/gen/CMakeFiles/stcfa_gen.dir/Generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/stcfa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

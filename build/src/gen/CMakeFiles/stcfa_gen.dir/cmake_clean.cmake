@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_gen.dir/Corpus.cpp.o"
+  "CMakeFiles/stcfa_gen.dir/Corpus.cpp.o.d"
+  "CMakeFiles/stcfa_gen.dir/Generators.cpp.o"
+  "CMakeFiles/stcfa_gen.dir/Generators.cpp.o.d"
+  "libstcfa_gen.a"
+  "libstcfa_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

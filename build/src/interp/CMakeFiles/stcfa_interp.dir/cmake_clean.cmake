@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/stcfa_interp.dir/Interpreter.cpp.o.d"
+  "libstcfa_interp.a"
+  "libstcfa_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/stcfa_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/stcfa_parser.dir/Parser.cpp.o"
+  "CMakeFiles/stcfa_parser.dir/Parser.cpp.o.d"
+  "libstcfa_parser.a"
+  "libstcfa_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

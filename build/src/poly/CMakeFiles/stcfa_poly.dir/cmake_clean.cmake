@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_poly.dir/Polyvariant.cpp.o"
+  "CMakeFiles/stcfa_poly.dir/Polyvariant.cpp.o.d"
+  "libstcfa_poly.a"
+  "libstcfa_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

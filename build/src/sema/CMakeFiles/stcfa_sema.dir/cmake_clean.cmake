@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_sema.dir/Infer.cpp.o"
+  "CMakeFiles/stcfa_sema.dir/Infer.cpp.o.d"
+  "libstcfa_sema.a"
+  "libstcfa_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

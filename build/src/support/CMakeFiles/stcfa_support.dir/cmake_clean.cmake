@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/stcfa_support.dir/TablePrinter.cpp.o.d"
+  "libstcfa_support.a"
+  "libstcfa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_types.dir/Type.cpp.o"
+  "CMakeFiles/stcfa_types.dir/Type.cpp.o.d"
+  "libstcfa_types.a"
+  "libstcfa_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

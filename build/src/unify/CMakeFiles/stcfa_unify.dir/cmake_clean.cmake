@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcfa_unify.dir/UnificationCFA.cpp.o"
+  "CMakeFiles/stcfa_unify.dir/UnificationCFA.cpp.o.d"
+  "libstcfa_unify.a"
+  "libstcfa_unify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcfa_unify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/core_graph_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/core_graph_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/core_graph_test.cpp.o.d"
+  "/root/repo/tests/dynamic_soundness_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/dynamic_soundness_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/dynamic_soundness_test.cpp.o.d"
+  "/root/repo/tests/equivalence_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/equivalence_test.cpp.o.d"
+  "/root/repo/tests/generators_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/generators_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/generators_test.cpp.o.d"
+  "/root/repo/tests/hybrid_compression_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/hybrid_compression_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/hybrid_compression_test.cpp.o.d"
+  "/root/repo/tests/interp_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/interp_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/interp_test.cpp.o.d"
+  "/root/repo/tests/mutual_recursion_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/mutual_recursion_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/mutual_recursion_test.cpp.o.d"
+  "/root/repo/tests/paper_examples_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/paper_examples_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/paper_examples_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/poly_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/poly_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/poly_test.cpp.o.d"
+  "/root/repo/tests/property_equivalence_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/property_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/property_equivalence_test.cpp.o.d"
+  "/root/repo/tests/roundtrip_property_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/roundtrip_property_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/roundtrip_property_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/types_infer_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/types_infer_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/types_infer_test.cpp.o.d"
+  "/root/repo/tests/unify_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/unify_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/unify_test.cpp.o.d"
+  "/root/repo/tests/variants_test.cpp" "tests/CMakeFiles/stcfa_tests.dir/variants_test.cpp.o" "gcc" "tests/CMakeFiles/stcfa_tests.dir/variants_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/stcfa_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/stcfa_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/stcfa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stcfa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/stcfa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/unify/CMakeFiles/stcfa_unify.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/stcfa_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/stcfa_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/stcfa_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/stcfa_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/stcfa_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stcfa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
