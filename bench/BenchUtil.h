@@ -27,9 +27,96 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace stcfa {
 namespace bench {
+
+/// Machine-readable companion to the printed tables: collects flat
+/// records of numeric/string metrics and writes them as a JSON array to
+/// `BENCH_<name>.json` in the working directory, so runs can be diffed
+/// and plotted without scraping stdout.
+///
+/// \code
+///   JsonReport Report("queries");
+///   Report.record("table1")
+///       .add("bindings", 100)
+///       .add("prep_ms", PrepMs);
+///   // written on destruction (or call write() explicitly)
+/// \endcode
+class JsonReport {
+public:
+  class Record {
+  public:
+    Record &add(const char *Key, double Value) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+      Fields.emplace_back(Key, Buf);
+      return *this;
+    }
+    Record &add(const char *Key, uint64_t Value) {
+      Fields.emplace_back(Key, std::to_string(Value));
+      return *this;
+    }
+    Record &add(const char *Key, int Value) {
+      return add(Key, static_cast<uint64_t>(Value));
+    }
+    Record &add(const char *Key, unsigned Value) {
+      return add(Key, static_cast<uint64_t>(Value));
+    }
+    Record &add(const char *Key, const std::string &Value) {
+      Fields.emplace_back(Key, "\"" + Value + "\"");
+      return *this;
+    }
+
+  private:
+    friend class JsonReport;
+    explicit Record(std::string Kind) : Kind(std::move(Kind)) {}
+    std::string Kind;
+    /// Key -> already-rendered JSON value.
+    std::vector<std::pair<std::string, std::string>> Fields;
+  };
+
+  explicit JsonReport(std::string Name) : Name(std::move(Name)) {}
+  JsonReport(const JsonReport &) = delete;
+  JsonReport &operator=(const JsonReport &) = delete;
+  ~JsonReport() { write(); }
+
+  /// Appends a record tagged with \p Kind (e.g. the table it mirrors).
+  Record &record(std::string Kind) {
+    Records.push_back(Record(std::move(Kind)));
+    return Records.back();
+  }
+
+  /// Writes `BENCH_<name>.json`; harmless to call more than once.
+  void write() {
+    if (Written)
+      return;
+    Written = true;
+    std::string Path = "BENCH_" + Name + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return;
+    }
+    std::fprintf(F, "[\n");
+    for (size_t I = 0; I != Records.size(); ++I) {
+      std::fprintf(F, "  {\"kind\": \"%s\"", Records[I].Kind.c_str());
+      for (const auto &[Key, Value] : Records[I].Fields)
+        std::fprintf(F, ", \"%s\": %s", Key.c_str(), Value.c_str());
+      std::fprintf(F, "}%s\n", I + 1 == Records.size() ? "" : ",");
+    }
+    std::fprintf(F, "]\n");
+    std::fclose(F);
+    std::printf("wrote %s (%zu records)\n", Path.c_str(), Records.size());
+  }
+
+private:
+  std::string Name;
+  std::vector<Record> Records;
+  bool Written = false;
+};
 
 /// Parses and type-checks; aborts the benchmark binary on failure (the
 /// corpora are all well-formed by construction).

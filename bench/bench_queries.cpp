@@ -37,6 +37,7 @@ std::string workload(int N) {
 }
 
 void printPaperTables() {
+  JsonReport Report("queries");
   std::printf("== Section 2 query problems: standard vs subtransitive ==\n");
   TablePrinter Table({"bindings", "exprs", "std solve(ms)", "prep(ms)",
                       "isIn(us)", "L(e)(us)", "occurs(us)", "all(ms)",
@@ -86,6 +87,16 @@ void printPaperTables() {
                   TablePrinter::num(IsInUs), TablePrinter::num(LabelsUs),
                   TablePrinter::num(OccursUs), TablePrinter::num(AllMs),
                   TablePrinter::num(AllSccMs)});
+    Report.record("section2")
+        .add("bindings", N)
+        .add("exprs", M->numExprs())
+        .add("std_solve_ms", Std.TotalMs)
+        .add("prep_ms", G.BuildMs + G.CloseMs)
+        .add("is_in_us", IsInUs)
+        .add("labels_of_us", LabelsUs)
+        .add("occurs_us", OccursUs)
+        .add("all_ms", AllMs)
+        .add("all_scc_ms", AllSccMs);
   }
   std::printf("%s\n", Table.render().c_str());
 
@@ -115,6 +126,12 @@ void printPaperTables() {
                                      CG.numOriginalNodes(),
                                  2),
                TablePrinter::num(RawUs), TablePrinter::num(CompUs)});
+    Report.record("compression")
+        .add("bindings", N)
+        .add("nodes", uint64_t(CG.numOriginalNodes()))
+        .add("kept", uint64_t(CG.numKeptNodes()))
+        .add("labels_of_raw_us", RawUs)
+        .add("labels_of_compressed_us", CompUs);
   }
   std::printf("%s\n", T2.render().c_str());
 }

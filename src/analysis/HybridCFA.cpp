@@ -8,8 +8,8 @@
 
 using namespace stcfa;
 
-HybridCFA::HybridCFA(const Module &M, uint32_t BudgetFactor)
-    : M(M), BudgetFactor(BudgetFactor) {}
+HybridCFA::HybridCFA(const Module &M, uint32_t BudgetFactor, unsigned Threads)
+    : M(M), BudgetFactor(BudgetFactor), Threads(Threads) {}
 
 void HybridCFA::run() {
   assert(!HasRun && "run() called twice");
@@ -24,7 +24,10 @@ void HybridCFA::run() {
   Graph->build();
   Graph->close();
   if (!Graph->aborted() && Graph->stats().Widenings == 0) {
-    Reach = std::make_unique<Reachability>(*Graph);
+    // Serve queries from a frozen CSR snapshot: identical answers to
+    // `Reachability` over the linked-list adjacency, better locality.
+    Frozen = std::make_unique<FrozenGraph>(*Graph);
+    Queries = std::make_unique<QueryEngine>(*Frozen, Threads);
     Used = Engine::Subtransitive;
     return;
   }
@@ -39,12 +42,12 @@ void HybridCFA::run() {
 
 DenseBitset HybridCFA::labelSet(ExprId E) {
   assert(HasRun && "query before run()");
-  return Used == Engine::Subtransitive ? Reach->labelsOf(E)
+  return Used == Engine::Subtransitive ? Queries->labelsOf(E)
                                        : Fallback->labelSet(E);
 }
 
 DenseBitset HybridCFA::labelSetOfVar(VarId V) {
   assert(HasRun && "query before run()");
-  return Used == Engine::Subtransitive ? Reach->labelsOfVar(V)
+  return Used == Engine::Subtransitive ? Queries->labelsOfVar(V)
                                        : Fallback->labelSetOfVar(V);
 }

@@ -24,7 +24,7 @@
 #define STCFA_ANALYSIS_HYBRIDCFA_H
 
 #include "analysis/StandardCFA.h"
-#include "core/Reachability.h"
+#include "core/QueryEngine.h"
 #include "core/SubtransitiveGraph.h"
 
 #include <memory>
@@ -35,8 +35,10 @@ namespace stcfa {
 class HybridCFA {
 public:
   /// \p BudgetFactor bounds the subtransitive attempt at
-  /// `BudgetFactor * numExprs` nodes before falling back.
-  explicit HybridCFA(const Module &M, uint32_t BudgetFactor = 8);
+  /// `BudgetFactor * numExprs` nodes before falling back.  \p Threads is
+  /// forwarded to the query engine (batched queries shard across it).
+  explicit HybridCFA(const Module &M, uint32_t BudgetFactor = 8,
+                     unsigned Threads = 1);
 
   void run();
 
@@ -44,20 +46,28 @@ public:
   enum class Engine : uint8_t { Subtransitive, Standard };
   Engine engine() const { return Used; }
 
-  /// Labels flowing to occurrence \p E (per-query reachability under the
-  /// subtransitive engine; a table read under the fallback).
+  /// Labels flowing to occurrence \p E (frozen-graph reachability via the
+  /// query engine under the subtransitive engine; a table read under the
+  /// fallback).
   DenseBitset labelSet(ExprId E);
   DenseBitset labelSetOfVar(VarId V);
 
   /// The graph, when the subtransitive engine succeeded (else null).
   const SubtransitiveGraph *graph() const { return Graph.get(); }
 
+  /// The frozen CSR snapshot and its query engine, when the
+  /// subtransitive engine succeeded (else null).
+  const FrozenGraph *frozen() const { return Frozen.get(); }
+  QueryEngine *queryEngine() { return Queries.get(); }
+
 private:
   const Module &M;
   uint32_t BudgetFactor;
+  unsigned Threads;
   Engine Used = Engine::Subtransitive;
   std::unique_ptr<SubtransitiveGraph> Graph;
-  std::unique_ptr<Reachability> Reach;
+  std::unique_ptr<FrozenGraph> Frozen;
+  std::unique_ptr<QueryEngine> Queries;
   std::unique_ptr<StandardCFA> Fallback;
   bool HasRun = false;
 };

@@ -8,7 +8,8 @@
 
 using namespace stcfa;
 
-CallGraph::CallGraph(const SubtransitiveGraph &G) : G(G), M(G.module()) {
+CallGraph::CallGraph(const SubtransitiveGraph &G, QueryEngine *Engine)
+    : G(G), M(G.module()), Engine(Engine) {
   Callees.assign(numCallers(), DenseBitset(M.numLabels()));
   Sites.resize(numCallers());
 }
@@ -33,15 +34,29 @@ void CallGraph::run() {
     });
   }
 
-  Reachability R(G);
+  // Collect all call sites first so the engine path can answer them as
+  // one batch (sharded across its thread pool).
+  std::vector<ExprId> Operators;
+  std::vector<uint32_t> Owners;
   forEachExprPreorder(M, M.root(), [&](ExprId Id, const Expr *E) {
     const auto *App = dyn_cast<AppExpr>(E);
     if (!App)
       return;
     uint32_t Owner = OwnerOf[Id.index()];
     Sites[Owner].push_back(Id);
-    Callees[Owner].unionWith(R.labelsOf(App->fn()));
+    Operators.push_back(App->fn());
+    Owners.push_back(Owner);
   });
+
+  if (Engine) {
+    std::vector<DenseBitset> Sets = Engine->labelsOfBatch(Operators);
+    for (size_t I = 0; I != Sets.size(); ++I)
+      Callees[Owners[I]].unionWith(Sets[I]);
+    return;
+  }
+  Reachability R(G);
+  for (size_t I = 0; I != Operators.size(); ++I)
+    Callees[Owners[I]].unionWith(R.labelsOf(Operators[I]));
 }
 
 DenseBitset CallGraph::reachableFunctions() const {

@@ -25,6 +25,7 @@
 #ifndef STCFA_APPS_CALLGRAPH_H
 #define STCFA_APPS_CALLGRAPH_H
 
+#include "core/QueryEngine.h"
 #include "core/Reachability.h"
 #include "core/SubtransitiveGraph.h"
 
@@ -35,7 +36,11 @@ namespace stcfa {
 /// Monovariant call graph over abstraction labels.
 class CallGraph {
 public:
-  explicit CallGraph(const SubtransitiveGraph &G);
+  /// With \p Engine, callee sets come from one batched (optionally
+  /// parallel) `labelsOfBatch` over all call-site operators instead of
+  /// one linked-list DFS per site; results are identical.
+  explicit CallGraph(const SubtransitiveGraph &G,
+                     QueryEngine *Engine = nullptr);
 
   /// Builds the graph (callee sets via reachability per call site).
   void run();
@@ -63,6 +68,7 @@ public:
 private:
   const SubtransitiveGraph &G;
   const Module &M;
+  QueryEngine *Engine;
   std::vector<DenseBitset> Callees;
   std::vector<std::vector<ExprId>> Sites;
   bool HasRun = false;

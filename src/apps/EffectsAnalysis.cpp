@@ -10,10 +10,14 @@
 
 using namespace stcfa;
 
-EffectsAnalysis::EffectsAnalysis(const SubtransitiveGraph &G)
-    : G(G), M(G.module()), RedExpr(M.numExprs(), false),
+EffectsAnalysis::EffectsAnalysis(const SubtransitiveGraph &G,
+                                 const FrozenGraph *Frozen)
+    : G(G), Frozen(Frozen), M(G.module()), RedExpr(M.numExprs(), false),
       RedNode(G.numNodes(), false), ExprDeps(M.numExprs()),
-      AppsOnRan(G.numNodes()) {}
+      AppsOnRan(G.numNodes()) {
+  assert((!Frozen || &Frozen->source() == &G) &&
+         "snapshot must freeze this graph");
+}
 
 void EffectsAnalysis::markExpr(ExprId E) {
   if (RedExpr[E.index()])
@@ -71,9 +75,15 @@ void EffectsAnalysis::run() {
     NodeId N = NodeWorklist.back();
     NodeWorklist.pop_back();
     // Rule (b): a ran-node with an edge to a red node is red.
-    for (NodeId P : G.preds(N))
-      if (G.op(P) == NodeOp::Ran)
-        markNode(P);
+    if (Frozen) {
+      for (uint32_t P : Frozen->preds(N.index()))
+        if (Frozen->op(P) == NodeOp::Ran)
+          markNode(NodeId(P));
+    } else {
+      for (NodeId P : G.preds(N))
+        if (G.op(P) == NodeOp::Ran)
+          markNode(P);
+    }
     // Rule (a), third disjunct: a call site whose ran(operator) is red.
     if (G.op(N) == NodeOp::Ran)
       for (ExprId App : AppsOnRan[N.index()])

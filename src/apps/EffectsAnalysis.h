@@ -31,6 +31,7 @@
 #ifndef STCFA_APPS_EFFECTSANALYSIS_H
 #define STCFA_APPS_EFFECTSANALYSIS_H
 
+#include "core/FrozenGraph.h"
 #include "core/SubtransitiveGraph.h"
 
 namespace stcfa {
@@ -40,7 +41,11 @@ class StandardCFA;
 /// Linear-time effects analysis over a closed subtransitive graph.
 class EffectsAnalysis {
 public:
-  explicit EffectsAnalysis(const SubtransitiveGraph &G);
+  /// With \p Frozen (a snapshot of the same graph), the propagation
+  /// iterates the compacted CSR adjacency instead of the intrusive
+  /// linked lists; results are identical.
+  explicit EffectsAnalysis(const SubtransitiveGraph &G,
+                           const FrozenGraph *Frozen = nullptr);
 
   /// Runs the propagation; call once.
   void run();
@@ -56,6 +61,7 @@ private:
   void markNode(NodeId N);
 
   const SubtransitiveGraph &G;
+  const FrozenGraph *Frozen;
   const Module &M;
   std::vector<bool> RedExpr;
   std::vector<bool> RedNode;

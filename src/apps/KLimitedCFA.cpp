@@ -46,8 +46,12 @@ bool LimitedSet::mergeFrom(const LimitedSet &Other, uint32_t K) {
 // KLimitedCFA
 //===----------------------------------------------------------------------===//
 
-KLimitedCFA::KLimitedCFA(const SubtransitiveGraph &G, uint32_t K)
-    : G(G), M(G.module()), K(K), Ann(G.numNodes()) {}
+KLimitedCFA::KLimitedCFA(const SubtransitiveGraph &G, uint32_t K,
+                         const FrozenGraph *Frozen)
+    : G(G), Frozen(Frozen), M(G.module()), K(K), Ann(G.numNodes()) {
+  assert((!Frozen || &Frozen->source() == &G) &&
+         "snapshot must freeze this graph");
+}
 
 void KLimitedCFA::run() {
   assert(!HasRun && "run() called twice");
@@ -62,13 +66,20 @@ void KLimitedCFA::run() {
       Worklist.push_back(NodeId(N));
     }
   }
+  auto Merge = [&](uint32_t P, uint32_t N) {
+    ++Updates;
+    if (Ann[P].mergeFrom(Ann[N], K))
+      Worklist.push_back(NodeId(P));
+  };
   while (!Worklist.empty()) {
     NodeId N = Worklist.back();
     Worklist.pop_back();
-    for (NodeId P : G.preds(N)) {
-      ++Updates;
-      if (Ann[P.index()].mergeFrom(Ann[N.index()], K))
-        Worklist.push_back(P);
+    if (Frozen) {
+      for (uint32_t P : Frozen->preds(N.index()))
+        Merge(P, N.index());
+    } else {
+      for (NodeId P : G.preds(N))
+        Merge(P.index(), N.index());
     }
   }
 }
@@ -94,9 +105,14 @@ const LimitedSet &KLimitedCFA::ofCallSite(ExprId App) const {
 // CalledOnceAnalysis
 //===----------------------------------------------------------------------===//
 
-CalledOnceAnalysis::CalledOnceAnalysis(const SubtransitiveGraph &G)
-    : G(G), M(G.module()), Result(M.numLabels(), CallCount::Never),
-      Site(M.numLabels(), ExprId::invalid()) {}
+CalledOnceAnalysis::CalledOnceAnalysis(const SubtransitiveGraph &G,
+                                       const FrozenGraph *Frozen)
+    : G(G), Frozen(Frozen), M(G.module()),
+      Result(M.numLabels(), CallCount::Never),
+      Site(M.numLabels(), ExprId::invalid()) {
+  assert((!Frozen || &Frozen->source() == &G) &&
+         "snapshot must freeze this graph");
+}
 
 void CalledOnceAnalysis::run() {
   assert(!HasRun && "run() called twice");
@@ -116,12 +132,20 @@ void CalledOnceAnalysis::run() {
         Marks[Fn.index()].isMany())
       Worklist.push_back(Fn);
   });
+  auto Merge = [&](uint32_t S, uint32_t N) {
+    if (Marks[S].mergeFrom(Marks[N], /*K=*/1))
+      Worklist.push_back(NodeId(S));
+  };
   while (!Worklist.empty()) {
     NodeId N = Worklist.back();
     Worklist.pop_back();
-    for (NodeId S : G.succs(N))
-      if (Marks[S.index()].mergeFrom(Marks[N.index()], /*K=*/1))
-        Worklist.push_back(S);
+    if (Frozen) {
+      for (uint32_t S : Frozen->succs(N.index()))
+        Merge(S, N.index());
+    } else {
+      for (NodeId S : G.succs(N))
+        Merge(S.index(), N.index());
+    }
   }
 
   for (uint32_t L = 0, E = M.numLabels(); L != E; ++L) {

@@ -16,6 +16,7 @@
 #ifndef STCFA_APPS_KLIMITEDCFA_H
 #define STCFA_APPS_KLIMITEDCFA_H
 
+#include "core/FrozenGraph.h"
 #include "core/SubtransitiveGraph.h"
 
 #include <vector>
@@ -45,7 +46,10 @@ private:
 /// Linear-time k-limited CFA over a closed subtransitive graph.
 class KLimitedCFA {
 public:
-  KLimitedCFA(const SubtransitiveGraph &G, uint32_t K);
+  /// With \p Frozen (a snapshot of the same graph), the propagation
+  /// iterates the compacted CSR adjacency; results are identical.
+  KLimitedCFA(const SubtransitiveGraph &G, uint32_t K,
+              const FrozenGraph *Frozen = nullptr);
 
   void run();
 
@@ -66,6 +70,7 @@ public:
 
 private:
   const SubtransitiveGraph &G;
+  const FrozenGraph *Frozen;
   const Module &M;
   uint32_t K;
   std::vector<LimitedSet> Ann;
@@ -81,7 +86,10 @@ private:
 /// saturation keeps it linear.
 class CalledOnceAnalysis {
 public:
-  explicit CalledOnceAnalysis(const SubtransitiveGraph &G);
+  /// With \p Frozen, marker propagation iterates the compacted CSR
+  /// adjacency; results are identical.
+  explicit CalledOnceAnalysis(const SubtransitiveGraph &G,
+                              const FrozenGraph *Frozen = nullptr);
 
   void run();
 
@@ -98,6 +106,7 @@ public:
 
 private:
   const SubtransitiveGraph &G;
+  const FrozenGraph *Frozen;
   const Module &M;
   std::vector<CallCount> Result;
   std::vector<ExprId> Site;

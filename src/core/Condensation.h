@@ -1,0 +1,59 @@
+//===-- core/Condensation.h - SCC condensation of the graph -----*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly-connected-component condensation of a query graph, shared by
+/// `Reachability::allLabelSets` (over the intrusive adjacency) and
+/// `FrozenGraph` (over the compacted CSR arrays, cached across queries).
+///
+/// The computation is one iterative Tarjan pass.  Component ids are
+/// assigned in *completion* order, which gives the invariant every
+/// consumer relies on: every SCC reachable from component `C` has a
+/// smaller id than `C`, so a single ascending-id sweep sees all
+/// successors of a component finalized before the component itself
+/// (reverse topological order of the condensed DAG).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_CORE_CONDENSATION_H
+#define STCFA_CORE_CONDENSATION_H
+
+#include <cstdint>
+#include <vector>
+
+namespace stcfa {
+
+class SubtransitiveGraph;
+
+/// The SCC partition of a directed graph over dense `uint32_t` node ids.
+class Condensation {
+public:
+  /// Condenses the forward CSR `(Offsets, Targets)`: the successors of
+  /// node `N` are `Targets[Offsets[N] .. Offsets[N + 1])`.
+  Condensation(uint32_t NumNodes, const std::vector<uint32_t> &Offsets,
+               const std::vector<uint32_t> &Targets);
+
+  /// Condenses a closed subtransitive graph's intrusive adjacency.
+  explicit Condensation(const SubtransitiveGraph &G);
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(SccOf.size()); }
+  uint32_t numSccs() const { return NumSccs; }
+
+  /// The component of node \p N.  Ids are in reverse topological order:
+  /// everything reachable from a component has a strictly smaller id.
+  uint32_t sccOf(uint32_t N) const { return SccOf[N]; }
+
+  /// The full node -> component map.
+  const std::vector<uint32_t> &map() const { return SccOf; }
+
+private:
+  std::vector<uint32_t> SccOf;
+  uint32_t NumSccs = 0;
+};
+
+} // namespace stcfa
+
+#endif // STCFA_CORE_CONDENSATION_H

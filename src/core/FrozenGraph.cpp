@@ -1,0 +1,118 @@
+//===-- core/FrozenGraph.cpp - Immutable CSR query snapshot ---------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FrozenGraph.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace stcfa;
+
+FrozenGraph::FrozenGraph(const SubtransitiveGraph &G)
+    : G(G), M(G.module()), NumNodes(G.numNodes()) {
+  assert(G.closed() && "freeze only after close()");
+  assert(!G.aborted() && "an aborted graph must not be frozen");
+  Timer T;
+
+  // Forward CSR: count, prefix-sum, fill.  Each row is sorted ascending
+  // — queries are order-insensitive, and monotone targets keep the DFS
+  // stamp accesses local.
+  OutOffsets.assign(NumNodes + 1, 0);
+  for (uint32_t N = 0; N != NumNodes; ++N)
+    for (NodeId S : G.succs(NodeId(N))) {
+      (void)S;
+      ++OutOffsets[N + 1];
+    }
+  for (uint32_t N = 0; N != NumNodes; ++N)
+    OutOffsets[N + 1] += OutOffsets[N];
+  OutTargets.resize(OutOffsets[NumNodes]);
+  {
+    std::vector<uint32_t> Fill(OutOffsets.begin(), OutOffsets.end() - 1);
+    for (uint32_t N = 0; N != NumNodes; ++N)
+      for (NodeId S : G.succs(NodeId(N)))
+        OutTargets[Fill[N]++] = S.index();
+  }
+  for (uint32_t N = 0; N != NumNodes; ++N)
+    std::sort(OutTargets.begin() + OutOffsets[N],
+              OutTargets.begin() + OutOffsets[N + 1]);
+
+  // Reverse CSR, derived from the forward arrays.
+  InOffsets.assign(NumNodes + 1, 0);
+  for (uint32_t Target : OutTargets)
+    ++InOffsets[Target + 1];
+  for (uint32_t N = 0; N != NumNodes; ++N)
+    InOffsets[N + 1] += InOffsets[N];
+  InTargets.resize(OutTargets.size());
+  {
+    std::vector<uint32_t> Fill(InOffsets.begin(), InOffsets.end() - 1);
+    for (uint32_t N = 0; N != NumNodes; ++N)
+      for (uint32_t I = OutOffsets[N], E = OutOffsets[N + 1]; I != E; ++I)
+        InTargets[Fill[OutTargets[I]]++] = N;
+  }
+
+  // Labels and ops hoisted into flat arrays.
+  LabelAt.resize(NumNodes);
+  Op.resize(NumNodes);
+  for (uint32_t N = 0; N != NumNodes; ++N) {
+    LabelId L = G.labelOf(NodeId(N));
+    LabelAt[N] = L.isValid() ? L.index() : None;
+    Op[N] = G.op(NodeId(N));
+  }
+
+  // Flat occurrence/binder -> node maps and per-label reverse roots.
+  NodeOfExpr.resize(M.numExprs());
+  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+    NodeId N = G.lookupExprNode(ExprId(I));
+    NodeOfExpr[I] = N.isValid() ? N.index() : None;
+  }
+  NodeOfVar.resize(M.numVars());
+  for (uint32_t I = 0, E = M.numVars(); I != E; ++I) {
+    NodeId N = G.lookupVarNode(VarId(I));
+    NodeOfVar[I] = N.isValid() ? N.index() : None;
+  }
+  LabelRoots.resize(2 * size_t(M.numLabels()), None);
+  for (uint32_t L = 0, E = M.numLabels(); L != E; ++L) {
+    NodeId Lam = G.lookupExprNode(M.lamOfLabel(LabelId(L)));
+    NodeId Carrier = G.lookupLabelNode(LabelId(L));
+    LabelRoots[2 * L] = Lam.isValid() ? Lam.index() : None;
+    LabelRoots[2 * L + 1] = Carrier.isValid() ? Carrier.index() : None;
+  }
+
+  FreezeMs = T.millis();
+}
+
+void FrozenGraph::buildCondensation() const {
+  Cond = std::make_unique<Condensation>(NumNodes, OutOffsets, OutTargets);
+
+  // One ascending-id sweep over the condensed DAG: SCC ids are in
+  // completion order, so every successor component is finalized first.
+  uint32_t NumSccs = Cond->numSccs();
+  std::vector<std::vector<uint32_t>> NodesOfScc(NumSccs);
+  for (uint32_t N = 0; N != NumNodes; ++N)
+    NodesOfScc[Cond->sccOf(N)].push_back(N);
+  SccLabels.assign(NumSccs, DenseBitset(M.numLabels()));
+  for (uint32_t Scc = 0; Scc != NumSccs; ++Scc) {
+    DenseBitset &Set = SccLabels[Scc];
+    for (uint32_t N : NodesOfScc[Scc]) {
+      if (LabelAt[N] != None)
+        Set.insert(LabelAt[N]);
+      for (uint32_t S : succs(N))
+        if (Cond->sccOf(S) != Scc)
+          Set.unionWith(SccLabels[Cond->sccOf(S)]);
+    }
+  }
+}
+
+const Condensation &FrozenGraph::condensation() const {
+  std::call_once(CondOnce, [this] { buildCondensation(); });
+  return *Cond;
+}
+
+const std::vector<DenseBitset> &FrozenGraph::sccLabelSets() const {
+  std::call_once(CondOnce, [this] { buildCondensation(); });
+  return SccLabels;
+}

@@ -1,0 +1,134 @@
+//===-- core/FrozenGraph.h - Immutable CSR query snapshot -------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A frozen, immutable snapshot of a closed `SubtransitiveGraph`,
+/// compacted for query throughput: all CFA queries reduce to plain graph
+/// reachability (Propositions 1/2), so the serving hot path is edge
+/// iteration, and the intrusive linked-list edge pool of the mutable
+/// graph pays one cache miss per edge.  The snapshot stores
+///
+///   * forward and reverse adjacency as CSR (`uint32_t` offset/target
+///     arrays — contiguous, prefetch-friendly);
+///   * abstraction labels hoisted into one flat per-node array (no
+///     per-node `labelOf` dispatch on the query path);
+///   * flat occurrence/binder -> node maps and per-label reverse-search
+///     roots;
+///   * an optional SCC condensation plus per-component label sets,
+///     built once on first use and cached across queries.
+///
+/// Freeze invariants: freeze only after `close()`, never after
+/// `aborted()` — enforced by assertions.  The snapshot keeps a reference
+/// to the source graph (for cold-path lookups such as `lookupDerived`)
+/// and to its `Module`; both must outlive it.  Edges added to the source
+/// graph after freezing (the incremental/polyvariant path) are *not*
+/// reflected — re-freeze instead.
+///
+/// Thread safety: after construction every accessor is `const` and
+/// lock-free; the cached condensation is materialised under
+/// `std::call_once`, so concurrent readers are safe (`QueryEngine` shards
+/// batched queries over one shared snapshot).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_CORE_FROZENGRAPH_H
+#define STCFA_CORE_FROZENGRAPH_H
+
+#include "core/Condensation.h"
+#include "core/SubtransitiveGraph.h"
+#include "support/DenseBitset.h"
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace stcfa {
+
+/// Immutable CSR compaction of a closed subtransitive graph.
+class FrozenGraph {
+public:
+  /// Node/label sentinel: "no such node / no label here".
+  static constexpr uint32_t None = ~0u;
+
+  /// Freezes \p G.  Requires `G.closed() && !G.aborted()`.
+  explicit FrozenGraph(const SubtransitiveGraph &G);
+
+  const Module &module() const { return M; }
+  const SubtransitiveGraph &source() const { return G; }
+
+  uint32_t numNodes() const { return NumNodes; }
+  uint64_t numEdges() const { return OutTargets.size(); }
+
+  /// Successors of node \p N (CSR row).
+  std::span<const uint32_t> succs(uint32_t N) const {
+    return {OutTargets.data() + OutOffsets[N],
+            OutTargets.data() + OutOffsets[N + 1]};
+  }
+  /// Predecessors of node \p N (reverse CSR row).
+  std::span<const uint32_t> preds(uint32_t N) const {
+    return {InTargets.data() + InOffsets[N],
+            InTargets.data() + InOffsets[N + 1]};
+  }
+
+  /// Raw CSR arrays, for the tightest query loops (the span accessors
+  /// cost two offset loads per row; hot DFS loops hoist these once).
+  const uint32_t *outOffsets() const { return OutOffsets.data(); }
+  const uint32_t *outTargets() const { return OutTargets.data(); }
+  const uint32_t *labelArray() const { return LabelAt.data(); }
+
+  /// The abstraction label carried by node \p N, or `None`.
+  uint32_t labelAt(uint32_t N) const { return LabelAt[N]; }
+  NodeOp op(uint32_t N) const { return Op[N]; }
+
+  /// The canonical node of occurrence \p E, or `None`.
+  uint32_t nodeOfExpr(ExprId E) const { return NodeOfExpr[E.index()]; }
+  /// The canonical node of binder \p V, or `None`.
+  uint32_t nodeOfVar(VarId V) const { return NodeOfVar[V.index()]; }
+
+  /// Reverse-search roots for label \p L: the lambda's expression node
+  /// and the polyvariant label-carrier node (either may be `None`).
+  std::pair<uint32_t, uint32_t> labelRoots(LabelId L) const {
+    return {LabelRoots[2 * L.index()], LabelRoots[2 * L.index() + 1]};
+  }
+
+  /// Milliseconds spent compacting (reported under `--stats`).
+  double freezeMillis() const { return FreezeMs; }
+
+  //===--- cached condensation --------------------------------------------//
+
+  /// The SCC condensation, built on first use (thread-safe) and cached
+  /// across queries.
+  const Condensation &condensation() const;
+
+  /// Per-component label sets in reverse topological order, cached with
+  /// the condensation: `sccLabelSets()[condensation().sccOf(N)]` is the
+  /// full label set reachable from node `N`.
+  const std::vector<DenseBitset> &sccLabelSets() const;
+
+private:
+  void buildCondensation() const;
+
+  const SubtransitiveGraph &G;
+  const Module &M;
+  uint32_t NumNodes = 0;
+
+  std::vector<uint32_t> OutOffsets, OutTargets;
+  std::vector<uint32_t> InOffsets, InTargets;
+  std::vector<uint32_t> LabelAt;
+  std::vector<NodeOp> Op;
+  std::vector<uint32_t> NodeOfExpr, NodeOfVar;
+  std::vector<uint32_t> LabelRoots;
+  double FreezeMs = 0;
+
+  mutable std::once_flag CondOnce;
+  mutable std::unique_ptr<Condensation> Cond;
+  mutable std::vector<DenseBitset> SccLabels;
+};
+
+} // namespace stcfa
+
+#endif // STCFA_CORE_FROZENGRAPH_H

@@ -1,0 +1,296 @@
+//===-- core/QueryEngine.cpp - Parallel batched CFA queries ---------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/QueryEngine.h"
+
+#include <algorithm>
+
+using namespace stcfa;
+
+QueryEngine::QueryEngine(const FrozenGraph &F, unsigned Threads)
+    : F(F), M(F.module()), NumThreads(Threads ? Threads : 1) {
+  Lanes.resize(NumThreads);
+  for (Scratch &S : Lanes)
+    S.Stamp.assign(F.numNodes(), 0);
+  if (NumThreads > 1)
+    Pool = std::make_unique<ThreadPool>(NumThreads);
+}
+
+void QueryEngine::bumpEpoch(Scratch &S) {
+  // The stamp vector distinguishes visits by epoch; when the 32-bit
+  // epoch wraps, stale stamps from 2^32 queries ago would alias the new
+  // epoch, so reset them all once and restart from 1.
+  if (++S.Epoch == 0) {
+    std::fill(S.Stamp.begin(), S.Stamp.end(), 0);
+    S.Epoch = 1;
+  }
+}
+
+template <typename FnT>
+void QueryEngine::forEachReachable(Scratch &S, uint32_t Start, FnT Fn) {
+  bumpEpoch(S);
+  S.Stack.clear();
+  S.Stack.push_back(Start);
+  S.Stamp[Start] = S.Epoch;
+  while (!S.Stack.empty()) {
+    uint32_t N = S.Stack.back();
+    S.Stack.pop_back();
+    ++S.Visited;
+    if (!Fn(N))
+      return;
+    for (uint32_t Succ : F.succs(N)) {
+      if (S.Stamp[Succ] == S.Epoch)
+        continue;
+      S.Stamp[Succ] = S.Epoch;
+      S.Stack.push_back(Succ);
+    }
+  }
+}
+
+DenseBitset QueryEngine::labelsFromNode(Scratch &S, uint32_t Start) {
+  // The allLabelSets / labelsOfBatch hot path: a hand-unrolled DFS over
+  // raw CSR arrays (hoisted pointers, no per-row span construction).
+  DenseBitset Out(M.numLabels());
+  bumpEpoch(S);
+  const uint32_t *Off = F.outOffsets();
+  const uint32_t *Tgt = F.outTargets();
+  const uint32_t *Lab = F.labelArray();
+  uint32_t *Stamp = S.Stamp.data();
+  const uint32_t Epoch = S.Epoch;
+  S.Stack.clear();
+  S.Stack.push_back(Start);
+  Stamp[Start] = Epoch;
+  uint64_t Visited = 0;
+  while (!S.Stack.empty()) {
+    uint32_t N = S.Stack.back();
+    S.Stack.pop_back();
+    ++Visited;
+    if (uint32_t L = Lab[N]; L != FrozenGraph::None)
+      Out.insert(L);
+    for (uint32_t I = Off[N], End = Off[N + 1]; I != End; ++I) {
+      uint32_t Succ = Tgt[I];
+      if (Stamp[Succ] != Epoch) {
+        Stamp[Succ] = Epoch;
+        S.Stack.push_back(Succ);
+      }
+    }
+  }
+  S.Visited += Visited;
+  return Out;
+}
+
+bool QueryEngine::labelReachableFrom(Scratch &S, uint32_t Start,
+                                     uint32_t Label) {
+  bool Found = false;
+  forEachReachable(S, Start, [&](uint32_t N) {
+    if (F.labelAt(N) == Label) {
+      Found = true;
+      return false; // stop the search
+    }
+    return true;
+  });
+  return Found;
+}
+
+void QueryEngine::markOccurrences(Scratch &S, LabelId L,
+                                  std::vector<ExprId> &Out) {
+  // Reverse reachability from the abstraction node and (polyvariant
+  // instantiation) the label-carrier node.
+  bumpEpoch(S);
+  S.Stack.clear();
+  auto [Lam, Carrier] = F.labelRoots(L);
+  for (uint32_t Root : {Lam, Carrier}) {
+    if (Root == FrozenGraph::None)
+      continue;
+    S.Stack.push_back(Root);
+    S.Stamp[Root] = S.Epoch;
+  }
+  if (S.Stack.empty())
+    return;
+  while (!S.Stack.empty()) {
+    uint32_t N = S.Stack.back();
+    S.Stack.pop_back();
+    ++S.Visited;
+    for (uint32_t P : F.preds(N)) {
+      if (S.Stamp[P] == S.Epoch)
+        continue;
+      S.Stamp[P] = S.Epoch;
+      S.Stack.push_back(P);
+    }
+  }
+
+  // A congruence summary node may stand for many occurrences, so map
+  // expressions to their canonical nodes rather than the reverse.
+  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+    uint32_t N = F.nodeOfExpr(ExprId(I));
+    if (N != FrozenGraph::None && S.Stamp[N] == S.Epoch)
+      Out.push_back(ExprId(I));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Point queries
+//===----------------------------------------------------------------------===//
+
+bool QueryEngine::isLabelIn(ExprId E, LabelId L) {
+  uint32_t Start = F.nodeOfExpr(E);
+  if (Start == FrozenGraph::None)
+    return false;
+  return labelReachableFrom(Lanes[0], Start, L.index());
+}
+
+DenseBitset QueryEngine::labelsOf(ExprId E) {
+  uint32_t Start = F.nodeOfExpr(E);
+  if (Start == FrozenGraph::None)
+    return DenseBitset(M.numLabels());
+  return labelsFromNode(Lanes[0], Start);
+}
+
+DenseBitset QueryEngine::labelsOfVar(VarId V) {
+  uint32_t Start = F.nodeOfVar(V);
+  if (Start == FrozenGraph::None)
+    return DenseBitset(M.numLabels());
+  return labelsFromNode(Lanes[0], Start);
+}
+
+DenseBitset QueryEngine::labelsOfNode(uint32_t N) {
+  return labelsFromNode(Lanes[0], N);
+}
+
+std::vector<ExprId> QueryEngine::occurrencesOf(LabelId L) {
+  std::vector<ExprId> Out;
+  markOccurrences(Lanes[0], L, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Batched queries
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Splits \p N items into one contiguous shard per lane.
+struct Shard {
+  size_t Begin, End;
+};
+
+inline Shard shardOf(size_t N, size_t NumShards, size_t Index) {
+  size_t Chunk = (N + NumShards - 1) / NumShards;
+  size_t Begin = std::min(N, Index * Chunk);
+  return {Begin, std::min(N, Begin + Chunk)};
+}
+
+} // namespace
+
+std::vector<DenseBitset>
+QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es) {
+  std::vector<DenseBitset> Out(Es.size());
+  auto RunShard = [&](unsigned Lane, size_t Index) {
+    Scratch &S = Lanes[Lane];
+    Shard Sh = shardOf(Es.size(), NumThreads, Index);
+    for (size_t I = Sh.Begin; I != Sh.End; ++I) {
+      uint32_t Start = F.nodeOfExpr(Es[I]);
+      Out[I] = Start == FrozenGraph::None ? DenseBitset(M.numLabels())
+                                          : labelsFromNode(S, Start);
+    }
+  };
+  if (Pool)
+    Pool->parallelFor(NumThreads, RunShard);
+  else
+    RunShard(0, 0);
+  return Out;
+}
+
+std::vector<char>
+QueryEngine::isLabelInBatch(const std::vector<std::pair<ExprId, LabelId>> &Qs) {
+  std::vector<char> Out(Qs.size(), 0);
+  auto RunShard = [&](unsigned Lane, size_t Index) {
+    Scratch &S = Lanes[Lane];
+    Shard Sh = shardOf(Qs.size(), NumThreads, Index);
+    for (size_t I = Sh.Begin; I != Sh.End; ++I) {
+      uint32_t Start = F.nodeOfExpr(Qs[I].first);
+      Out[I] = Start != FrozenGraph::None &&
+               labelReachableFrom(S, Start, Qs[I].second.index());
+    }
+  };
+  if (Pool)
+    Pool->parallelFor(NumThreads, RunShard);
+  else
+    RunShard(0, 0);
+  return Out;
+}
+
+std::vector<std::vector<ExprId>>
+QueryEngine::occurrencesOfBatch(const std::vector<LabelId> &Ls) {
+  std::vector<std::vector<ExprId>> Out(Ls.size());
+  auto RunShard = [&](unsigned Lane, size_t Index) {
+    Scratch &S = Lanes[Lane];
+    Shard Sh = shardOf(Ls.size(), NumThreads, Index);
+    for (size_t I = Sh.Begin; I != Sh.End; ++I)
+      markOccurrences(S, Ls[I], Out[I]);
+  };
+  if (Pool)
+    Pool->parallelFor(NumThreads, RunShard);
+  else
+    RunShard(0, 0);
+  return Out;
+}
+
+std::vector<DenseBitset> QueryEngine::allLabelSets(bool UseScc) {
+  std::vector<DenseBitset> Out(M.numExprs(), DenseBitset(M.numLabels()));
+
+  if (UseScc) {
+    // The condensation and its per-component label sets are cached on
+    // the frozen graph, so repeat calls cost only the output copies.
+    const Condensation &C = F.condensation();
+    const std::vector<DenseBitset> &SccLabels = F.sccLabelSets();
+    for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+      uint32_t N = F.nodeOfExpr(ExprId(I));
+      if (N != FrozenGraph::None)
+        Out[I] = SccLabels[C.sccOf(N)];
+    }
+    return Out;
+  }
+
+  // Naive strategy: one DFS per distinct canonical node, memoized.  The
+  // distinct-node list is built sequentially, then sharded — each lane
+  // writes only its own slots of `PerNode`, so no synchronisation.
+  std::vector<DenseBitset> PerNode(F.numNodes());
+  std::vector<uint32_t> Distinct;
+  {
+    std::vector<bool> Seen(F.numNodes(), false);
+    for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+      uint32_t N = F.nodeOfExpr(ExprId(I));
+      if (N != FrozenGraph::None && !Seen[N]) {
+        Seen[N] = true;
+        Distinct.push_back(N);
+      }
+    }
+  }
+  auto RunShard = [&](unsigned Lane, size_t Index) {
+    Scratch &S = Lanes[Lane];
+    Shard Sh = shardOf(Distinct.size(), NumThreads, Index);
+    for (size_t I = Sh.Begin; I != Sh.End; ++I)
+      PerNode[Distinct[I]] = labelsFromNode(S, Distinct[I]);
+  };
+  if (Pool)
+    Pool->parallelFor(NumThreads, RunShard);
+  else
+    RunShard(0, 0);
+  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+    uint32_t N = F.nodeOfExpr(ExprId(I));
+    if (N != FrozenGraph::None)
+      Out[I] = PerNode[N];
+  }
+  return Out;
+}
+
+uint64_t QueryEngine::nodesVisited() const {
+  uint64_t Total = 0;
+  for (const Scratch &S : Lanes)
+    Total += S.Visited;
+  return Total;
+}

@@ -1,0 +1,112 @@
+//===-- core/QueryEngine.h - Parallel batched CFA queries -------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-path query engine: answers the Section 2 query problems
+/// over a `FrozenGraph` CSR snapshot, bit-for-bit equal to
+/// `Reachability` over the mutable graph but without pointer chasing,
+/// and with batched entry points sharded across a fixed `ThreadPool`.
+///
+/// Concurrency model: the CSR snapshot is read-only, so workers need no
+/// locks — each worker lane owns a private epoch-stamped visit vector
+/// and DFS stack (`Scratch`), and batched results land in disjoint,
+/// pre-sized output slots.  Point queries run inline on the calling
+/// thread using lane 0's scratch.  The engine itself is therefore *not*
+/// re-entrant from multiple external threads; share the `FrozenGraph`,
+/// not the engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_CORE_QUERYENGINE_H
+#define STCFA_CORE_QUERYENGINE_H
+
+#include "core/FrozenGraph.h"
+#include "support/DenseBitset.h"
+#include "support/ThreadPool.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace stcfa {
+
+/// Parallel batched reachability queries over a frozen graph.
+class QueryEngine {
+public:
+  /// \p Threads is the worker-lane count (1 = fully sequential, no
+  /// threads spawned).
+  explicit QueryEngine(const FrozenGraph &F, unsigned Threads = 1);
+
+  const FrozenGraph &frozen() const { return F; }
+  unsigned threads() const { return NumThreads; }
+
+  //===--- point queries (calling thread, lane 0) -------------------------//
+
+  /// Algorithm 1: is the abstraction labelled \p L a possible value of
+  /// occurrence \p E?
+  bool isLabelIn(ExprId E, LabelId L);
+
+  /// Algorithm 2: all abstraction labels reachable from \p E.
+  DenseBitset labelsOf(ExprId E);
+
+  /// All labels reachable from the binder \p V.
+  DenseBitset labelsOfVar(VarId V);
+
+  /// All labels reachable from graph node \p N.
+  DenseBitset labelsOfNode(uint32_t N);
+
+  /// All expression occurrences whose label set contains \p L.
+  std::vector<ExprId> occurrencesOf(LabelId L);
+
+  //===--- batched queries (sharded across the pool) ----------------------//
+
+  /// `labelsOf` for every query in \p Es, in order.
+  std::vector<DenseBitset> labelsOfBatch(const std::vector<ExprId> &Es);
+
+  /// `isLabelIn` for every (occurrence, label) pair, in order.
+  std::vector<char>
+  isLabelInBatch(const std::vector<std::pair<ExprId, LabelId>> &Qs);
+
+  /// `occurrencesOf` for every label in \p Ls, in order.
+  std::vector<std::vector<ExprId>>
+  occurrencesOfBatch(const std::vector<LabelId> &Ls);
+
+  /// Complete CFA information, one label set per occurrence.  With
+  /// \p UseScc the frozen graph's cached condensation answers repeat
+  /// calls in output-copy time; without it, per-node DFS memoization is
+  /// sharded across the pool.
+  std::vector<DenseBitset> allLabelSets(bool UseScc = false);
+
+  /// Nodes touched by queries so far, summed over all lanes.
+  uint64_t nodesVisited() const;
+
+private:
+  /// Per-lane DFS state: epoch-stamped visit marks (O(1) reset between
+  /// queries, zeroed on epoch wrap) and an explicit stack.
+  struct Scratch {
+    std::vector<uint32_t> Stamp;
+    uint32_t Epoch = 0;
+    std::vector<uint32_t> Stack;
+    uint64_t Visited = 0;
+  };
+
+  void bumpEpoch(Scratch &S);
+  template <typename FnT>
+  void forEachReachable(Scratch &S, uint32_t Start, FnT Fn);
+  DenseBitset labelsFromNode(Scratch &S, uint32_t Start);
+  bool labelReachableFrom(Scratch &S, uint32_t Start, uint32_t Label);
+  void markOccurrences(Scratch &S, LabelId L, std::vector<ExprId> &Out);
+
+  const FrozenGraph &F;
+  const Module &M;
+  unsigned NumThreads;
+  std::unique_ptr<ThreadPool> Pool; // null when NumThreads == 1
+  std::vector<Scratch> Lanes;       // one per worker lane
+};
+
+} // namespace stcfa
+
+#endif // STCFA_CORE_QUERYENGINE_H

@@ -6,6 +6,8 @@
 
 #include "core/Reachability.h"
 
+#include "core/Condensation.h"
+
 #include <algorithm>
 
 using namespace stcfa;
@@ -13,9 +15,18 @@ using namespace stcfa;
 Reachability::Reachability(const SubtransitiveGraph &G)
     : G(G), M(G.module()), Stamp(G.numNodes(), 0) {}
 
+void Reachability::bumpEpoch() {
+  // When the 32-bit epoch wraps, stale stamps from 2^32 queries ago
+  // would alias the new epoch; reset them all once and restart from 1.
+  if (++Epoch == 0) {
+    std::fill(Stamp.begin(), Stamp.end(), 0);
+    Epoch = 1;
+  }
+}
+
 template <typename FnT>
 void Reachability::forEachReachable(NodeId Start, FnT Fn) {
-  ++Epoch;
+  bumpEpoch();
   Stack.clear();
   Stack.push_back(Start);
   Stamp[Start.index()] = Epoch;
@@ -77,7 +88,7 @@ std::vector<ExprId> Reachability::occurrencesOf(LabelId L) {
   std::vector<ExprId> Out;
   // Polyvariant instantiations carry labels on separate `Label` nodes, so
   // the reverse search starts from both.
-  ++Epoch;
+  bumpEpoch();
   Stack.clear();
   for (NodeId Root : {G.lookupExprNode(M.lamOfLabel(L)),
                       G.lookupLabelNode(L)}) {
@@ -131,88 +142,32 @@ std::vector<DenseBitset> Reachability::allLabelSets(bool UseScc) {
     return Out;
   }
 
-  // SCC condensation (iterative Tarjan), then one bottom-up union pass
-  // over the DAG in reverse topological order.
+  // SCC condensation (iterative Tarjan, see Condensation.cpp), then one
+  // bottom-up union pass over the DAG.  Component ids are in completion
+  // order, so ascending id order sees all successors of a component
+  // finalized before the component itself.
   uint32_t NumNodes = G.numNodes();
-  std::vector<uint32_t> Index(NumNodes, 0), Low(NumNodes, 0),
-      SccOf(NumNodes, ~0u);
-  std::vector<bool> OnStack(NumNodes, false);
-  std::vector<uint32_t> TarjanStack;
-  uint32_t NextIndex = 1, NumSccs = 0;
-
-  using EdgeIter = SubtransitiveGraph::EdgeRange::iterator;
-  struct Frame {
-    uint32_t Node;
-    EdgeIter Next;
-    EdgeIter End;
-  };
-  std::vector<Frame> Frames;
-  for (uint32_t Root = 0; Root != NumNodes; ++Root) {
-    if (Index[Root] != 0)
-      continue;
-    auto RootRange = G.succs(NodeId(Root));
-    Frames.push_back({Root, RootRange.begin(), RootRange.end()});
-    Index[Root] = Low[Root] = NextIndex++;
-    TarjanStack.push_back(Root);
-    OnStack[Root] = true;
-    while (!Frames.empty()) {
-      Frame &F = Frames.back();
-      if (F.Next != F.End) {
-        uint32_t S = (*F.Next).index();
-        ++F.Next;
-        if (Index[S] == 0) {
-          Index[S] = Low[S] = NextIndex++;
-          TarjanStack.push_back(S);
-          OnStack[S] = true;
-          auto SRange = G.succs(NodeId(S));
-          Frames.push_back({S, SRange.begin(), SRange.end()});
-        } else if (OnStack[S]) {
-          Low[F.Node] = std::min(Low[F.Node], Index[S]);
-        }
-        continue;
-      }
-      ++Visited;
-      uint32_t N = F.Node;
-      Frames.pop_back();
-      if (!Frames.empty())
-        Low[Frames.back().Node] = std::min(Low[Frames.back().Node], Low[N]);
-      if (Low[N] != Index[N])
-        continue;
-      // N is an SCC root: pop its component.
-      uint32_t Scc = NumSccs++;
-      while (true) {
-        uint32_t W = TarjanStack.back();
-        TarjanStack.pop_back();
-        OnStack[W] = false;
-        SccOf[W] = Scc;
-        if (W == N)
-          break;
-      }
-    }
-  }
-
-  // Tarjan assigns SCC ids in completion order, and every SCC reachable
-  // from component C completes before C does, so ascending id order sees
-  // all successors of a component finalized before the component itself.
-  std::vector<std::vector<uint32_t>> NodesOfScc(NumSccs);
+  Condensation C(G);
+  Visited += NumNodes; // the condensation touches every node once
+  std::vector<std::vector<uint32_t>> NodesOfScc(C.numSccs());
   for (uint32_t N = 0; N != NumNodes; ++N)
-    NodesOfScc[SccOf[N]].push_back(N);
-  std::vector<DenseBitset> SccLabels(NumSccs, DenseBitset(M.numLabels()));
-  for (uint32_t Scc = 0; Scc != NumSccs; ++Scc) {
+    NodesOfScc[C.sccOf(N)].push_back(N);
+  std::vector<DenseBitset> SccLabels(C.numSccs(), DenseBitset(M.numLabels()));
+  for (uint32_t Scc = 0; Scc != C.numSccs(); ++Scc) {
     DenseBitset &Set = SccLabels[Scc];
     for (uint32_t N : NodesOfScc[Scc]) {
       if (LabelId L = G.labelOf(NodeId(N)); L.isValid())
         Set.insert(L.index());
       for (NodeId S : G.succs(NodeId(N)))
-        if (SccOf[S.index()] != Scc)
-          Set.unionWith(SccLabels[SccOf[S.index()]]);
+        if (C.sccOf(S.index()) != Scc)
+          Set.unionWith(SccLabels[C.sccOf(S.index())]);
     }
   }
 
   for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
     NodeId N = G.lookupExprNode(ExprId(I));
     if (N.isValid())
-      Out[I] = SccLabels[SccOf[N.index()]];
+      Out[I] = SccLabels[C.sccOf(N.index())];
   }
   return Out;
 }

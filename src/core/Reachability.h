@@ -59,6 +59,9 @@ public:
 
 private:
   template <typename FnT> void forEachReachable(NodeId Start, FnT Fn);
+  /// Advances the query epoch, zeroing all stamps when the 32-bit
+  /// counter wraps (a long-lived object answers > 2^32 queries).
+  void bumpEpoch();
 
   const SubtransitiveGraph &G;
   const Module &M;

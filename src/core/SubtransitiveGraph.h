@@ -155,6 +155,10 @@ public:
   /// graph is then incomplete and must not be queried.
   bool aborted() const { return Aborted; }
 
+  /// True once `close()` has run to fixpoint at least once; the freeze
+  /// precondition (`FrozenGraph` snapshots only closed graphs).
+  bool closed() const { return Closed; }
+
   /// Incremental use (the paper: "simple, incremental, demand-driven"):
   /// edges may be added after a `close()` — via `addEdge`, the polyvariant
   /// instantiation, or `buildMoreFragment` below — and a further `close()`

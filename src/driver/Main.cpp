@@ -23,6 +23,8 @@
 #include "apps/EffectsAnalysis.h"
 #include "apps/KLimitedCFA.h"
 #include "ast/Printer.h"
+#include "core/FrozenGraph.h"
+#include "core/QueryEngine.h"
 #include "core/Reachability.h"
 #include "gen/Corpus.h"
 #include "gen/Generators.h"
@@ -51,6 +53,8 @@ struct Options {
   std::string Query = "labels";
   std::string Congruence = "bytype";
   std::string Policy = "paper";
+  unsigned Threads = 1;
+  bool Frozen = false;
   bool Stats = false;
   bool Run = false;
   bool Print = false;
@@ -70,6 +74,8 @@ int usage(const char *Argv0) {
       "                         klimited:K | callgraph | dead-code\n"
       "  --congruence=<c>       none | bytype (default) | bybase\n"
       "  --policy=<p>           paper (default) | nodeexists | undemanded\n"
+      "  --frozen               serve queries from a frozen CSR snapshot\n"
+      "  --threads=<n>          query-engine worker lanes (implies --frozen)\n"
       "  --stats                print program/type/graph statistics\n"
       "  --print                pretty-print the parsed program\n"
       "  --dump-graph           print every subtransitive edge\n"
@@ -151,6 +157,8 @@ struct AnalysisResult {
   std::unique_ptr<PolyvariantCFA> Poly;
   std::unique_ptr<HybridCFA> Hybrid;
   std::unique_ptr<Reachability> Reach;
+  std::unique_ptr<FrozenGraph> Snapshot;
+  std::unique_ptr<QueryEngine> Engine;
   double AnalysisMs = 0;
 
   DenseBitset labels(ExprId E) {
@@ -160,6 +168,8 @@ struct AnalysisResult {
       return Uni->labelSet(E);
     if (Hybrid)
       return Hybrid->labelSet(E);
+    if (Engine)
+      return Engine->labelsOf(E);
     return Reach->labelsOf(E);
   }
   const SubtransitiveGraph *graph() const {
@@ -169,6 +179,22 @@ struct AnalysisResult {
       return &Poly->graph();
     if (Hybrid)
       return Hybrid->graph();
+    return nullptr;
+  }
+  /// The frozen snapshot / query engine, when `--frozen` produced one
+  /// (the hybrid analysis always freezes on subtransitive success).
+  const FrozenGraph *frozen() const {
+    if (Snapshot)
+      return Snapshot.get();
+    if (Hybrid)
+      return Hybrid->frozen();
+    return nullptr;
+  }
+  QueryEngine *engine() {
+    if (Engine)
+      return Engine.get();
+    if (Hybrid)
+      return Hybrid->queryEngine();
     return nullptr;
   }
 };
@@ -189,6 +215,19 @@ int main(int Argc, char **Argv) {
       Opts.Congruence = A.substr(13);
     else if (startsWith(A, "--policy="))
       Opts.Policy = A.substr(9);
+    else if (startsWith(A, "--threads=")) {
+      std::string N = A.substr(10);
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        fprintf(stderr, "error: --threads expects a number, got '%s'\n",
+                N.c_str());
+        return 1;
+      }
+      Opts.Threads = std::stoul(N);
+      if (Opts.Threads == 0)
+        Opts.Threads = 1;
+      Opts.Frozen = true;
+    } else if (A == "--frozen")
+      Opts.Frozen = true;
     else if (A == "--stats")
       Opts.Stats = true;
     else if (A == "--run")
@@ -273,7 +312,8 @@ int main(int Argc, char **Argv) {
     R.Poly->run();
     R.Reach = std::make_unique<Reachability>(R.Poly->graph());
   } else if (Opts.Analysis == "hybrid") {
-    R.Hybrid = std::make_unique<HybridCFA>(*M);
+    R.Hybrid = std::make_unique<HybridCFA>(*M, /*BudgetFactor=*/8,
+                                           Opts.Threads);
     R.Hybrid->run();
     if (Opts.Stats)
       std::printf("hybrid engine: %s\n",
@@ -290,6 +330,20 @@ int main(int Argc, char **Argv) {
   }
   R.AnalysisMs = T.millis();
 
+  // `--frozen`: compact the graph into a CSR snapshot and serve every
+  // query through the (optionally parallel) engine.  The hybrid analysis
+  // freezes internally on subtransitive success.
+  if (Opts.Frozen && R.graph() && !R.Hybrid) {
+    const SubtransitiveGraph *G = R.graph();
+    if (G->closed() && !G->aborted()) {
+      R.Snapshot = std::make_unique<FrozenGraph>(*G);
+      R.Engine = std::make_unique<QueryEngine>(*R.Snapshot, Opts.Threads);
+    } else {
+      std::fprintf(stderr, "note: --frozen ignored (graph not closed or "
+                           "aborted)\n");
+    }
+  }
+
   if (Opts.Stats) {
     std::printf("analysis: %s in %.3f ms\n", Opts.Analysis.c_str(),
                 R.AnalysisMs);
@@ -304,6 +358,12 @@ int main(int Argc, char **Argv) {
                   (unsigned long long)S.CloseRuleFirings,
                   (unsigned long long)S.Widenings);
     }
+    if (const FrozenGraph *F = R.frozen())
+      std::printf("frozen: %u nodes / %llu edges compacted in %.3f ms, "
+                  "%u query lane(s)\n",
+                  F->numNodes(), (unsigned long long)F->numEdges(),
+                  F->freezeMillis(),
+                  R.engine() ? R.engine()->threads() : 1);
     if (R.Std)
       std::printf("standard: %llu propagations, %llu insertions, %llu "
                   "edges\n",
@@ -327,6 +387,7 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  Timer QueryTimer;
   if (Opts.Query == "labels") {
     std::printf("L(root) = %s\n", renderSet(*M, R.labels(M->root())).c_str());
   } else if (Opts.Query == "all-labels") {
@@ -343,7 +404,7 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: effects needs a graph analysis\n");
       return 1;
     }
-    EffectsAnalysis Eff(*G);
+    EffectsAnalysis Eff(*G, R.frozen());
     Eff.run();
     std::printf("%u side-effecting occurrences\n", Eff.numEffectful());
     for (uint32_t I = 0; I != M->numExprs(); ++I)
@@ -355,7 +416,7 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: called-once needs a graph analysis\n");
       return 1;
     }
-    CalledOnceAnalysis CO(*G);
+    CalledOnceAnalysis CO(*G, R.frozen());
     CO.run();
     for (LabelId L : CO.calledOnce())
       std::printf("called once: %s at %s\n", labelName(*M, L).c_str(),
@@ -366,7 +427,7 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: callgraph needs a graph analysis\n");
       return 1;
     }
-    CallGraph CG(*G);
+    CallGraph CG(*G, R.engine());
     CG.run();
     for (uint32_t Caller = 0; Caller != CG.numCallers(); ++Caller) {
       if (CG.calleesOf(Caller).empty())
@@ -392,6 +453,28 @@ int main(int Argc, char **Argv) {
                 M->numExprs());
     for (LabelId Dead : Dc.deadFunctions())
       std::printf("never called: %s\n", labelName(*M, Dead).c_str());
+    // Cross-check against the frozen engine when available: a function the
+    // (over-approximating) subtransitive flow never calls must also be dead
+    // under the liveness-gated analysis.
+    if (QueryEngine *E = R.engine()) {
+      CallGraph CG(*R.graph(), E);
+      CG.run();
+      uint32_t Agree = 0, Mismatch = 0;
+      for (LabelId L : CG.deadFunctions()) {
+        bool Dead = false;
+        for (LabelId D : Dc.deadFunctions())
+          Dead |= D == L;
+        (Dead ? Agree : Mismatch) += 1;
+      }
+      if (Mismatch)
+        std::printf("engine cross-check: %u never-called function(s) NOT "
+                    "dead-code-aware dead (unexpected)\n",
+                    Mismatch);
+      else
+        std::printf("engine cross-check: %u never-called function(s) "
+                    "confirmed dead\n",
+                    Agree);
+    }
   } else if (startsWith(Opts.Query, "klimited:")) {
     const SubtransitiveGraph *G = R.graph();
     if (!G) {
@@ -399,7 +482,7 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     uint32_t K = std::stoul(Opts.Query.substr(9));
-    KLimitedCFA KL(*G, K);
+    KLimitedCFA KL(*G, K, R.frozen());
     KL.run();
     for (uint32_t I = 0; I != M->numExprs(); ++I) {
       const auto *A = dyn_cast<AppExpr>(M->expr(ExprId(I)));
@@ -422,6 +505,8 @@ int main(int Argc, char **Argv) {
   } else {
     return usage(Argv[0]);
   }
+  if (Opts.Stats)
+    std::printf("queries: %.3f ms\n", QueryTimer.millis());
 
   if (Opts.Run) {
     InterpreterResult Run = interpret(*M, 50000000);

@@ -1,0 +1,455 @@
+//===-- tests/frozen_graph_test.cpp - Snapshot / engine equivalence -------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The frozen CSR snapshot and the parallel query engine must be
+/// *bit-for-bit* interchangeable with the mutable-graph `Reachability`
+/// baseline: every query kind, on every corpus program, under every
+/// closure policy and congruence mode, at one worker lane and at four.
+/// Plus unit tests for the `ThreadPool` primitive and for the apps'
+/// CSR propagation branches.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/CallGraph.h"
+#include "apps/EffectsAnalysis.h"
+#include "apps/KLimitedCFA.h"
+#include "analysis/DeadCodeAwareCFA.h"
+#include "core/Condensation.h"
+#include "core/FrozenGraph.h"
+#include "core/QueryEngine.h"
+#include "core/Reachability.h"
+#include "gen/Corpus.h"
+#include "gen/Generators.h"
+#include "support/ThreadPool.h"
+
+#include "TestUtil.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <set>
+
+using namespace stcfa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::vector<std::atomic<int>> Hits(1000);
+  Pool.parallelFor(Hits.size(), [&](unsigned, size_t I) { ++Hits[I]; });
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool Pool(3);
+  for (int Round = 0; Round != 50; ++Round) {
+    std::atomic<uint64_t> Sum{0};
+    Pool.parallelFor(100, [&](unsigned, size_t I) { Sum += I; });
+    EXPECT_EQ(Sum.load(), 100u * 99u / 2);
+  }
+}
+
+TEST(ThreadPool, WorkerIndexInRange) {
+  ThreadPool Pool(2);
+  std::vector<std::atomic<int>> PerWorker(2);
+  Pool.parallelFor(64, [&](unsigned W, size_t) {
+    ASSERT_LT(W, 2u);
+    ++PerWorker[W];
+  });
+  int Total = PerWorker[0] + PerWorker[1];
+  EXPECT_EQ(Total, 64);
+}
+
+TEST(ThreadPool, SingleWorkerAndEmptyBatch) {
+  ThreadPool Pool(1);
+  int Count = 0;
+  Pool.parallelFor(0, [&](unsigned, size_t) { ++Count; });
+  EXPECT_EQ(Count, 0);
+  Pool.parallelFor(7, [&](unsigned W, size_t) {
+    EXPECT_EQ(W, 0u);
+    ++Count;
+  });
+  EXPECT_EQ(Count, 7);
+}
+
+//===----------------------------------------------------------------------===//
+// FrozenGraph structure
+//===----------------------------------------------------------------------===//
+
+TEST(FrozenGraph, CsrMatchesLinkedLists) {
+  std::unique_ptr<Module> M = parseMaybeInfer(miniEvalProgram());
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  ASSERT_FALSE(G.aborted());
+  FrozenGraph F(G);
+
+  ASSERT_EQ(F.numNodes(), G.numNodes());
+  uint64_t Edges = 0;
+  for (uint32_t N = 0; N != G.numNodes(); ++N) {
+    std::multiset<uint32_t> Want, Got;
+    for (NodeId S : G.succs(NodeId(N)))
+      Want.insert(S.index());
+    for (uint32_t S : F.succs(N))
+      Got.insert(S);
+    EXPECT_EQ(Want, Got) << "succs mismatch at node " << N;
+    Edges += Want.size();
+
+    Want.clear();
+    Got.clear();
+    for (NodeId P : G.preds(NodeId(N)))
+      Want.insert(P.index());
+    for (uint32_t P : F.preds(N))
+      Got.insert(P);
+    EXPECT_EQ(Want, Got) << "preds mismatch at node " << N;
+
+    EXPECT_EQ(F.op(N), G.op(NodeId(N)));
+    LabelId L = G.labelOf(NodeId(N));
+    EXPECT_EQ(F.labelAt(N), L.isValid() ? L.index() : FrozenGraph::None);
+  }
+  EXPECT_EQ(F.numEdges(), Edges);
+}
+
+TEST(FrozenGraph, CondensationIsCachedAndConsistent) {
+  std::unique_ptr<Module> M = parseMaybeInfer(lifeProgram());
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  FrozenGraph F(G);
+
+  const Condensation &C1 = F.condensation();
+  const Condensation &C2 = F.condensation();
+  EXPECT_EQ(&C1, &C2) << "condensation must be computed once";
+  EXPECT_EQ(C1.numNodes(), F.numNodes());
+
+  // Edges never point from a lower SCC id to a higher one except within
+  // the same SCC: completion order is reverse topological.
+  for (uint32_t N = 0; N != F.numNodes(); ++N)
+    for (uint32_t S : F.succs(N))
+      if (C1.sccOf(N) != C1.sccOf(S)) {
+        EXPECT_GT(C1.sccOf(N), C1.sccOf(S));
+      }
+}
+
+//===----------------------------------------------------------------------===//
+// QueryEngine vs Reachability, all corpora x configs x thread counts
+//===----------------------------------------------------------------------===//
+
+struct Config {
+  const char *Name;
+  ClosurePolicy Policy;
+  CongruenceMode Congruence;
+};
+
+const Config Configs[] = {
+    {"paper/bytype", ClosurePolicy::PaperExact, CongruenceMode::ByType},
+    {"nodeexists/bytype", ClosurePolicy::NodeExists, CongruenceMode::ByType},
+};
+
+struct CorpusProgram {
+  const char *Name;
+  std::string Source;
+};
+
+std::vector<CorpusProgram> corpusPrograms() {
+  return {{"life", lifeProgram()},
+          {"lexgen", makeLexgenLike(/*States=*/12)},
+          {"minieval", miniEvalProgram()},
+          {"parsercombo", parserComboProgram()}};
+}
+
+void expectSameSet(const DenseBitset &A, const DenseBitset &B,
+                   const char *What, const char *Where, uint32_t Index) {
+  EXPECT_TRUE(A == B) << What << " mismatch on " << Where << " at index "
+                      << Index;
+}
+
+/// Runs every query kind through Reachability and through a QueryEngine
+/// with \p Threads lanes; everything must agree exactly.
+void checkEquivalence(const Module &M, const SubtransitiveGraph &G,
+                      unsigned Threads, const char *Where) {
+  Reachability Reach(G);
+  FrozenGraph F(G);
+  QueryEngine Engine(F, Threads);
+
+  // labelsOf: point and batched, every occurrence.
+  std::vector<ExprId> AllExprs;
+  for (uint32_t I = 0; I != M.numExprs(); ++I)
+    AllExprs.push_back(ExprId(I));
+  std::vector<DenseBitset> Batch = Engine.labelsOfBatch(AllExprs);
+  ASSERT_EQ(Batch.size(), AllExprs.size());
+  for (uint32_t I = 0; I != M.numExprs(); ++I) {
+    DenseBitset Want = Reach.labelsOf(ExprId(I));
+    expectSameSet(Want, Engine.labelsOf(ExprId(I)), "labelsOf", Where, I);
+    expectSameSet(Want, Batch[I], "labelsOfBatch", Where, I);
+  }
+
+  // labelsOfVar: every binder.
+  for (uint32_t V = 0; V != M.numVars(); ++V)
+    expectSameSet(Reach.labelsOfVar(VarId(V)), Engine.labelsOfVar(VarId(V)),
+                  "labelsOfVar", Where, V);
+
+  // isLabelIn: every (occurrence, label) pair, point and batched.
+  std::vector<std::pair<ExprId, LabelId>> Pairs;
+  for (uint32_t I = 0; I != M.numExprs(); ++I)
+    for (uint32_t L = 0; L != M.numLabels(); ++L)
+      Pairs.emplace_back(ExprId(I), LabelId(L));
+  std::vector<char> Mask = Engine.isLabelInBatch(Pairs);
+  ASSERT_EQ(Mask.size(), Pairs.size());
+  for (size_t I = 0; I != Pairs.size(); ++I) {
+    bool Want = Reach.isLabelIn(Pairs[I].first, Pairs[I].second);
+    EXPECT_EQ(Want, Engine.isLabelIn(Pairs[I].first, Pairs[I].second))
+        << "isLabelIn mismatch on " << Where << " at pair " << I;
+    EXPECT_EQ(Want, static_cast<bool>(Mask[I]))
+        << "isLabelInBatch mismatch on " << Where << " at pair " << I;
+  }
+
+  // occurrencesOf: every label, point and batched; order is part of the
+  // contract (ascending expression id).
+  std::vector<LabelId> AllLabels;
+  for (uint32_t L = 0; L != M.numLabels(); ++L)
+    AllLabels.push_back(LabelId(L));
+  std::vector<std::vector<ExprId>> OccBatch =
+      Engine.occurrencesOfBatch(AllLabels);
+  ASSERT_EQ(OccBatch.size(), AllLabels.size());
+  for (uint32_t L = 0; L != M.numLabels(); ++L) {
+    std::vector<ExprId> Want = Reach.occurrencesOf(LabelId(L));
+    EXPECT_EQ(Want, Engine.occurrencesOf(LabelId(L)))
+        << "occurrencesOf mismatch on " << Where << " at label " << L;
+    EXPECT_EQ(Want, OccBatch[L])
+        << "occurrencesOfBatch mismatch on " << Where << " at label " << L;
+  }
+
+  // allLabelSets: naive-vs-naive and SCC-vs-SCC, plus cross (the two
+  // strategies must agree with each other anyway).
+  std::vector<DenseBitset> WantAll = Reach.allLabelSets(/*UseScc=*/false);
+  std::vector<DenseBitset> GotNaive = Engine.allLabelSets(/*UseScc=*/false);
+  std::vector<DenseBitset> GotScc = Engine.allLabelSets(/*UseScc=*/true);
+  ASSERT_EQ(WantAll.size(), GotNaive.size());
+  ASSERT_EQ(WantAll.size(), GotScc.size());
+  for (uint32_t I = 0; I != WantAll.size(); ++I) {
+    expectSameSet(WantAll[I], GotNaive[I], "allLabelSets(naive)", Where, I);
+    expectSameSet(WantAll[I], GotScc[I], "allLabelSets(scc)", Where, I);
+  }
+}
+
+TEST(QueryEngine, MatchesReachabilityEverywhere) {
+  for (const CorpusProgram &P : corpusPrograms()) {
+    std::unique_ptr<Module> M = parseMaybeInfer(P.Source);
+    ASSERT_TRUE(M);
+    for (const Config &C : Configs) {
+      SubtransitiveConfig GC;
+      GC.Policy = C.Policy;
+      GC.Congruence = C.Congruence;
+      SubtransitiveGraph G(*M, GC);
+      G.build();
+      G.close();
+      ASSERT_FALSE(G.aborted()) << P.Name << " " << C.Name;
+      std::string Where = std::string(P.Name) + "/" + C.Name;
+      checkEquivalence(*M, G, /*Threads=*/1, Where.c_str());
+      checkEquivalence(*M, G, /*Threads=*/4, (Where + "/t4").c_str());
+    }
+  }
+}
+
+TEST(QueryEngine, MatchesReachabilityUnderByBaseCongruence) {
+  // The finer ByBaseAndType congruence diverges during close() on the
+  // recursive corpus programs (a pre-existing limitation of ≈2, not of
+  // the snapshot), so the bybase equivalence runs on programs where the
+  // closure terminates: the cubic family and a small datatype program.
+  struct {
+    const char *Name;
+    std::string Source;
+  } Programs[] = {
+      {"cubic30", makeCubicFamily(30)},
+      {"flist", "data FList = FNil | FCons(Int -> Int, FList);\n"
+                "let l = FCons(fn a => a, FCons(fn b => b, FNil)) in "
+                "case l of FNil => (fn z => z) | FCons(h, t) => h end"},
+  };
+  for (const auto &P : Programs) {
+    std::unique_ptr<Module> M = parseMaybeInfer(P.Source);
+    ASSERT_TRUE(M);
+    SubtransitiveConfig GC;
+    GC.Congruence = CongruenceMode::ByBaseAndType;
+    SubtransitiveGraph G(*M, GC);
+    G.build();
+    G.close();
+    ASSERT_FALSE(G.aborted()) << P.Name;
+    std::string Where = std::string(P.Name) + "/paper/bybase";
+    checkEquivalence(*M, G, /*Threads=*/1, Where.c_str());
+    checkEquivalence(*M, G, /*Threads=*/4, (Where + "/t4").c_str());
+  }
+}
+
+TEST(QueryEngine, SharedSnapshotIndependentEngines) {
+  // Two engines over one snapshot answer independently (the documented
+  // sharing model: share the FrozenGraph, not the engine).
+  std::unique_ptr<Module> M = parseMaybeInfer(miniEvalProgram());
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  FrozenGraph F(G);
+  QueryEngine A(F, 1), B(F, 2);
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    EXPECT_TRUE(A.labelsOf(ExprId(I)) == B.labelsOf(ExprId(I)));
+  // Both see the same cached condensation label sets.
+  std::vector<DenseBitset> SA = A.allLabelSets(true);
+  std::vector<DenseBitset> SB = B.allLabelSets(true);
+  for (uint32_t I = 0; I != SA.size(); ++I)
+    EXPECT_TRUE(SA[I] == SB[I]);
+}
+
+//===----------------------------------------------------------------------===//
+// Apps over the frozen snapshot
+//===----------------------------------------------------------------------===//
+
+TEST(FrozenApps, EffectsIdenticalWithAndWithoutSnapshot) {
+  for (const CorpusProgram &P : corpusPrograms()) {
+    std::unique_ptr<Module> M = parseMaybeInfer(P.Source);
+    ASSERT_TRUE(M);
+    SubtransitiveGraph G(*M);
+    G.build();
+    G.close();
+    FrozenGraph F(G);
+    EffectsAnalysis Plain(G);
+    Plain.run();
+    EffectsAnalysis Csr(G, &F);
+    Csr.run();
+    EXPECT_EQ(Plain.numEffectful(), Csr.numEffectful()) << P.Name;
+    for (uint32_t I = 0; I != M->numExprs(); ++I)
+      EXPECT_EQ(Plain.isEffectful(ExprId(I)), Csr.isEffectful(ExprId(I)))
+          << P.Name << " expr " << I;
+  }
+}
+
+TEST(FrozenApps, KLimitedIdenticalWithAndWithoutSnapshot) {
+  for (const CorpusProgram &P : corpusPrograms()) {
+    std::unique_ptr<Module> M = parseMaybeInfer(P.Source);
+    ASSERT_TRUE(M);
+    SubtransitiveGraph G(*M);
+    G.build();
+    G.close();
+    FrozenGraph F(G);
+    for (uint32_t K : {1u, 3u}) {
+      KLimitedCFA Plain(G, K);
+      Plain.run();
+      KLimitedCFA Csr(G, K, &F);
+      Csr.run();
+      for (uint32_t I = 0; I != M->numExprs(); ++I) {
+        const LimitedSet &A = Plain.ofExpr(ExprId(I));
+        const LimitedSet &B = Csr.ofExpr(ExprId(I));
+        EXPECT_EQ(A.isMany(), B.isMany()) << P.Name << " expr " << I;
+        if (!A.isMany()) {
+          EXPECT_EQ(A.ids(), B.ids()) << P.Name << " expr " << I;
+        }
+      }
+    }
+  }
+}
+
+TEST(FrozenApps, CalledOnceIdenticalWithAndWithoutSnapshot) {
+  for (const CorpusProgram &P : corpusPrograms()) {
+    std::unique_ptr<Module> M = parseMaybeInfer(P.Source);
+    ASSERT_TRUE(M);
+    SubtransitiveGraph G(*M);
+    G.build();
+    G.close();
+    FrozenGraph F(G);
+    CalledOnceAnalysis Plain(G);
+    Plain.run();
+    CalledOnceAnalysis Csr(G, &F);
+    Csr.run();
+    for (uint32_t L = 0; L != M->numLabels(); ++L) {
+      EXPECT_EQ(Plain.countOf(LabelId(L)), Csr.countOf(LabelId(L)))
+          << P.Name << " label " << L;
+      if (Plain.countOf(LabelId(L)) == CalledOnceAnalysis::CallCount::Once) {
+        EXPECT_EQ(Plain.uniqueCallSite(LabelId(L)),
+                  Csr.uniqueCallSite(LabelId(L)))
+            << P.Name << " label " << L;
+      }
+    }
+  }
+}
+
+TEST(FrozenApps, CallGraphIdenticalWithAndWithoutEngine) {
+  for (const CorpusProgram &P : corpusPrograms()) {
+    std::unique_ptr<Module> M = parseMaybeInfer(P.Source);
+    ASSERT_TRUE(M);
+    SubtransitiveGraph G(*M);
+    G.build();
+    G.close();
+    FrozenGraph F(G);
+    QueryEngine Engine(F, 2);
+    CallGraph Plain(G);
+    Plain.run();
+    CallGraph Batched(G, &Engine);
+    Batched.run();
+    ASSERT_EQ(Plain.numCallers(), Batched.numCallers()) << P.Name;
+    for (uint32_t C = 0; C != Plain.numCallers(); ++C)
+      EXPECT_TRUE(Plain.calleesOf(C) == Batched.calleesOf(C))
+          << P.Name << " caller " << C;
+    EXPECT_EQ(Plain.deadFunctions(), Batched.deadFunctions()) << P.Name;
+  }
+}
+
+TEST(FrozenApps, EngineNeverCalledContainedInDeadCodeAware) {
+  // The subtransitive flow over-approximates standard CFA, which in turn
+  // over-approximates the liveness-gated analysis: a function the engine
+  // never sees called must be dead-code-aware dead.
+  for (const CorpusProgram &P : corpusPrograms()) {
+    std::unique_ptr<Module> M = parseMaybeInfer(P.Source);
+    ASSERT_TRUE(M);
+    SubtransitiveGraph G(*M);
+    G.build();
+    G.close();
+    FrozenGraph F(G);
+    QueryEngine Engine(F, 2);
+    CallGraph CG(G, &Engine);
+    CG.run();
+    DeadCodeAwareCFA Dc(*M);
+    Dc.run();
+    std::set<uint32_t> DcDead;
+    for (LabelId L : Dc.deadFunctions())
+      DcDead.insert(L.index());
+    for (LabelId L : CG.deadFunctions()) {
+      EXPECT_TRUE(DcDead.count(L.index()))
+          << P.Name << ": engine-dead fn#" << L.index()
+          << " not dead-code-aware dead";
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Epoch wrap
+//===----------------------------------------------------------------------===//
+
+TEST(QueryEngine, ManyQueriesStayConsistent) {
+  // Repeated queries exercise the epoch stamping; results must be stable.
+  std::unique_ptr<Module> M = parseMaybeInfer(parserComboProgram());
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  FrozenGraph F(G);
+  QueryEngine Engine(F, 1);
+  DenseBitset First = Engine.labelsOf(M->root());
+  for (int I = 0; I != 1000; ++I)
+    ASSERT_TRUE(First == Engine.labelsOf(M->root()));
+  uint64_t Visited = Engine.nodesVisited();
+  EXPECT_GT(Visited, 0u);
+}
+
+} // namespace
