@@ -6,48 +6,226 @@
 
 #include "analysis/HybridCFA.h"
 
+#include "support/FaultInjection.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
 using namespace stcfa;
 
-HybridCFA::HybridCFA(const Module &M, uint32_t BudgetFactor, unsigned Threads)
-    : M(M), BudgetFactor(BudgetFactor), Threads(Threads) {}
+const char *stcfa::engineName(HybridCFA::Engine E) {
+  switch (E) {
+  case HybridCFA::Engine::Subtransitive:
+    return "subtransitive";
+  case HybridCFA::Engine::Standard:
+    return "standard";
+  case HybridCFA::Engine::PartialAnswer:
+    return "partial";
+  case HybridCFA::Engine::None:
+    return "none";
+  }
+  return "none";
+}
 
-void HybridCFA::run() {
-  assert(!HasRun && "run() called twice");
+namespace {
+
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void appendJsonStatus(std::string &Out, const Status &S) {
+  Out += "{\"code\":";
+  appendJsonString(Out, statusCodeName(S.code()));
+  Out += ",\"message\":";
+  appendJsonString(Out, S.message());
+  Out += '}';
+}
+
+} // namespace
+
+std::string DegradationReport::toJson() const {
+  std::string Out = "{\"served\":";
+  appendJsonString(Out, Served);
+  Out += ",\"final\":";
+  appendJsonStatus(Out, Final);
+  Out += ",\"attempts\":[";
+  for (size_t I = 0; I != Attempts.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += "{\"rung\":";
+    appendJsonString(Out, Attempts[I].Rung);
+    Out += ",\"status\":";
+    appendJsonStatus(Out, Attempts[I].S);
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), ",\"millis\":%.3f}", Attempts[I].Millis);
+    Out += Buf;
+  }
+  Out += "]}";
+  return Out;
+}
+
+HybridCFA::HybridCFA(const Module &M, uint32_t BudgetFactor, unsigned Threads)
+    : M(M) {
+  Opts.BudgetFactor = BudgetFactor;
+  Opts.Threads = Threads;
+}
+
+HybridCFA::HybridCFA(const Module &M, const HybridOptions &Opts)
+    : M(M), Opts(Opts) {}
+
+Status HybridCFA::solve() {
+  assert(!HasRun && "solve() called twice");
   HasRun = true;
 
-  // Attempt the subtransitive analysis with exact datatype tracking (so a
+  // Rung 1: the subtransitive analysis with exact datatype tracking (so a
   // success has exactly standard-CFA precision) and a linear node budget.
+  Timer SubTimer;
   SubtransitiveConfig C;
   C.Congruence = CongruenceMode::None;
-  C.MaxNodes = uint64_t(BudgetFactor) * M.numExprs() + 1024;
+  C.MaxNodes = uint64_t(Opts.BudgetFactor) * M.numExprs() + 1024;
   Graph = std::make_unique<SubtransitiveGraph>(M, C);
   Graph->build();
-  Graph->close();
-  if (!Graph->aborted() && Graph->stats().Widenings == 0) {
-    // Serve queries from a frozen CSR snapshot: identical answers to
-    // `Reachability` over the linked-list adjacency, better locality.
-    Frozen = std::make_unique<FrozenGraph>(*Graph);
-    Queries = std::make_unique<QueryEngine>(*Frozen, Threads);
-    Used = Engine::Subtransitive;
-    return;
+  Status SubStatus = Graph->close(Opts.D, Opts.Token);
+  if (SubStatus.isOk() && Graph->stats().Widenings != 0)
+    // Widening trades precision for termination; a widened graph is not
+    // standard-CFA-exact, which is the signature of a program outside
+    // the bounded-type classes — same treatment as a blown budget.
+    SubStatus = Status::resourceExhausted(
+        "depth widening engaged: program is outside the bounded-type "
+        "classes");
+  if (SubStatus.isOk() && faultFires(fault::HybridSubtransitiveBudget))
+    SubStatus =
+        Status::resourceExhausted("injected subtransitive budget exhaustion");
+  Report.Attempts.push_back({"subtransitive", SubStatus, SubTimer.millis()});
+
+  if (SubStatus.isOk()) {
+    // Rung 1, second half: freeze the graph into the CSR serving snapshot.
+    Timer FreezeTimer;
+    Status FreezeStatus;
+    if (faultFires(fault::HybridFreezeAlloc))
+      FreezeStatus = Status::outOfMemory("injected CSR allocation failure");
+    else
+      Frozen = FrozenGraph::freeze(*Graph, FreezeStatus, Opts.D);
+    Report.Attempts.push_back({"freeze", FreezeStatus, FreezeTimer.millis()});
+    if (FreezeStatus.isOk()) {
+      Queries = std::make_unique<QueryEngine>(*Frozen, Opts.Threads);
+      Used = Engine::Subtransitive;
+      Report.Served = engineName(Used);
+      return Report.Final = Status::ok();
+    }
+    SubStatus = FreezeStatus; // a failed freeze degrades like a failed close
   }
 
-  // Outside the bounded-type classes: fall back to the standard
-  // algorithm, which terminates for arbitrary programs.
+  // The partial graph is useless (reachability over it is unsound) —
+  // discard it before deciding the next rung.
   Graph.reset();
-  Fallback = std::make_unique<StandardCFA>(M);
-  Fallback->run();
-  Used = Engine::Standard;
+
+  if (SubStatus == StatusCode::Cancelled || Opts.Degrade == DegradeMode::Off) {
+    Used = Engine::None;
+    Report.Served = engineName(Used);
+    return Report.Final = SubStatus;
+  }
+
+  // Rung 2: the standard cubic algorithm under the remaining deadline.
+  if (!Opts.D.expired()) {
+    Timer StdTimer;
+    Fallback = std::make_unique<StandardCFA>(M);
+    Status StdStatus = Fallback->run(Opts.D, Opts.Token);
+    Report.Attempts.push_back({"standard", StdStatus, StdTimer.millis()});
+    if (StdStatus.isOk()) {
+      Used = Engine::Standard;
+      Report.Served = engineName(Used);
+      return Report.Final = Status::ok();
+    }
+    // A timed-out standard run holds *under*-approximate sets — never
+    // serve them.
+    Fallback.reset();
+    if (StdStatus == StatusCode::Cancelled) {
+      Used = Engine::None;
+      Report.Served = engineName(Used);
+      return Report.Final = StdStatus;
+    }
+    SubStatus = StdStatus;
+  } else {
+    Report.Attempts.push_back(
+        {"standard",
+         Status::deadlineExceeded("skipped: deadline already expired"), 0.0});
+    SubStatus = Status::deadlineExceeded("deadline expired before the "
+                                         "standard rung could start");
+  }
+
+  // Rung 3: the bounded partial answer — every label set is the universal
+  // set, a conservative superset of any exact answer, in O(labels) time.
+  if (Opts.Degrade == DegradeMode::Partial) {
+    Report.Attempts.push_back({"partial", Status::ok(), 0.0});
+    Used = Engine::PartialAnswer;
+    Report.Served = engineName(Used);
+    return Report.Final = Status::ok();
+  }
+
+  Used = Engine::None;
+  Report.Served = engineName(Used);
+  return Report.Final = SubStatus;
+}
+
+DenseBitset HybridCFA::universalLabels() const {
+  DenseBitset Out(M.numLabels());
+  for (uint32_t L = 0, E = M.numLabels(); L != E; ++L)
+    Out.insert(L);
+  return Out;
 }
 
 DenseBitset HybridCFA::labelSet(ExprId E) {
   assert(HasRun && "query before run()");
-  return Used == Engine::Subtransitive ? Queries->labelsOf(E)
-                                       : Fallback->labelSet(E);
+  switch (Used) {
+  case Engine::Subtransitive:
+    return Queries->labelsOf(E);
+  case Engine::Standard:
+    return Fallback->labelSet(E);
+  case Engine::PartialAnswer:
+    return universalLabels();
+  case Engine::None:
+    break;
+  }
+  return DenseBitset(M.numLabels());
 }
 
 DenseBitset HybridCFA::labelSetOfVar(VarId V) {
   assert(HasRun && "query before run()");
-  return Used == Engine::Subtransitive ? Queries->labelsOfVar(V)
-                                       : Fallback->labelSetOfVar(V);
+  switch (Used) {
+  case Engine::Subtransitive:
+    return Queries->labelsOfVar(V);
+  case Engine::Standard:
+    return Fallback->labelSetOfVar(V);
+  case Engine::PartialAnswer:
+    return universalLabels();
+  case Engine::None:
+    break;
+  }
+  return DenseBitset(M.numLabels());
 }

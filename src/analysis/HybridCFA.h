@@ -10,13 +10,23 @@
 /// obtain a hybrid algorithm that terminates for arbitrary programs but is
 /// linear for bounded-type programs."
 ///
-/// Strategy: attempt the subtransitive analysis with exact datatype
-/// tracking and a node budget proportional to the program size.  If the
-/// close phase blows the budget or the depth widening engages — the
-/// signatures of a program outside the bounded-type classes — discard the
-/// graph and run the standard (always-terminating) algorithm instead.
-/// On bounded-type programs the subtransitive attempt succeeds and the
-/// whole analysis is (near-)linear, with exactly standard-CFA precision.
+/// Extended here into a *degradation ladder* under a resource governor:
+///
+///   1. subtransitive — exact datatype tracking, linear node budget,
+///      governed close; succeeds iff the program is in the bounded-type
+///      classes and the deadline holds.  Exactly standard-CFA precision.
+///   2. standard      — the always-terminating cubic algorithm, run under
+///      whatever deadline remains.  Exact, but slower.
+///   3. partial       — a bounded partial answer: every queried label set
+///      is the *universal* set, a trivially conservative superset of the
+///      true answer, returned in O(labels) time.
+///
+/// Each rung's outcome (status + wall time) lands in a machine-readable
+/// `DegradationReport`.  Cancellation never degrades — a cancelled
+/// analysis stops with no answer, because the caller asked it to stop.
+/// `DegradeMode::Off` pins the ladder to rung 1 (fail instead of
+/// degrading); `Standard` (the default, matching the paper's hybrid)
+/// stops after rung 2; `Partial` walks all three rungs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,29 +36,82 @@
 #include "analysis/StandardCFA.h"
 #include "core/QueryEngine.h"
 #include "core/SubtransitiveGraph.h"
+#include "support/Deadline.h"
+#include "support/Status.h"
 
 #include <memory>
+#include <string>
+#include <vector>
 
 namespace stcfa {
 
-/// Subtransitive-first CFA with a cubic fallback.
+/// How far down the ladder the hybrid may degrade.
+enum class DegradeMode : uint8_t {
+  Off,      ///< Subtransitive or nothing: a failed rung 1 is a hard error.
+  Standard, ///< The paper's hybrid: fall back to the cubic algorithm.
+  Partial,  ///< Always answer: degrade to the universal-set partial rung.
+};
+
+/// Construction-time resource controls for `HybridCFA`.
+struct HybridOptions {
+  /// Bounds the subtransitive attempt at `BudgetFactor * numExprs` nodes.
+  uint32_t BudgetFactor = 8;
+  /// Worker lanes for the query engine (batched queries shard across it).
+  unsigned Threads = 1;
+  /// Wall-clock deadline over the whole ladder (infinite by default).
+  Deadline D;
+  /// Cooperative cancellation; a cancelled run serves no answer.
+  CancellationToken Token;
+  DegradeMode Degrade = DegradeMode::Standard;
+};
+
+/// Machine-readable record of the degradation ladder: one entry per rung
+/// attempted, which rung finally served, and the overall status.
+struct DegradationReport {
+  struct Attempt {
+    /// "subtransitive", "freeze", "standard", or "partial".
+    const char *Rung;
+    Status S;
+    double Millis;
+  };
+  std::vector<Attempt> Attempts;
+  /// The serving rung: "subtransitive", "standard", "partial", or "none".
+  const char *Served = "none";
+  /// `Ok` when some rung served; the last failure otherwise.
+  Status Final;
+
+  /// One-line JSON object (`{"served":...,"final":...,"attempts":[...]}`).
+  std::string toJson() const;
+};
+
+/// Subtransitive-first CFA with a governed degradation ladder.
 class HybridCFA {
 public:
-  /// \p BudgetFactor bounds the subtransitive attempt at
-  /// `BudgetFactor * numExprs` nodes before falling back.  \p Threads is
-  /// forwarded to the query engine (batched queries shard across it).
+  /// Ungoverned construction: infinite deadline, `Standard` degradation —
+  /// exactly the paper's hybrid.
   explicit HybridCFA(const Module &M, uint32_t BudgetFactor = 8,
                      unsigned Threads = 1);
 
-  void run();
+  HybridCFA(const Module &M, const HybridOptions &Opts);
 
-  /// Which engine produced the results.
-  enum class Engine : uint8_t { Subtransitive, Standard };
+  void run() { (void)solve(); }
+
+  /// Walks the ladder.  `Ok` iff some rung served an answer (degraded
+  /// service is still `Ok` — consult `report()` / `engine()` for how
+  /// degraded); `Cancelled`/`DeadlineExceeded`/`ResourceExhausted` when
+  /// no rung could.
+  Status solve();
+
+  /// Which engine produced the results.  `None` means no rung served
+  /// (query answers are empty; `report().Final` says why).
+  enum class Engine : uint8_t { Subtransitive, Standard, PartialAnswer, None };
   Engine engine() const { return Used; }
+
+  const DegradationReport &report() const { return Report; }
 
   /// Labels flowing to occurrence \p E (frozen-graph reachability via the
   /// query engine under the subtransitive engine; a table read under the
-  /// fallback).
+  /// cubic fallback; the universal set under the partial-answer rung).
   DenseBitset labelSet(ExprId E);
   DenseBitset labelSetOfVar(VarId V);
 
@@ -61,16 +124,22 @@ public:
   QueryEngine *queryEngine() { return Queries.get(); }
 
 private:
+  DenseBitset universalLabels() const;
+
   const Module &M;
-  uint32_t BudgetFactor;
-  unsigned Threads;
-  Engine Used = Engine::Subtransitive;
+  HybridOptions Opts;
+  Engine Used = Engine::None;
+  DegradationReport Report;
   std::unique_ptr<SubtransitiveGraph> Graph;
   std::unique_ptr<FrozenGraph> Frozen;
   std::unique_ptr<QueryEngine> Queries;
   std::unique_ptr<StandardCFA> Fallback;
   bool HasRun = false;
 };
+
+/// Printable name of a hybrid engine ("subtransitive", "standard",
+/// "partial", "none").
+const char *engineName(HybridCFA::Engine E);
 
 } // namespace stcfa
 

@@ -6,6 +6,8 @@
 
 #include "analysis/StandardCFA.h"
 
+#include "support/FaultInjection.h"
+
 using namespace stcfa;
 
 StandardCFA::StandardCFA(const Module &M) : M(M) {
@@ -194,11 +196,24 @@ void StandardCFA::fireTrigger(uint32_t TriggerIndex, uint32_t Value) {
   }
 }
 
-void StandardCFA::run() {
+Status StandardCFA::run(const Deadline &D, const CancellationToken &Token) {
   assert(!HasRun && "run() called twice");
   HasRun = true;
   buildStaticConstraints();
+  // Governor checkpoint cadence: each pop is cheap, so the clock and
+  // token are polled every `Stride` pops (plus pop 0, so injected faults
+  // fire deterministically even on tiny inputs).
+  constexpr uint64_t Stride = 4096;
+  uint64_t Pops = 0;
   while (!Pending.empty()) {
+    if (Pops++ % Stride == 0) {
+      if (Token.cancelled())
+        return RunStatus = Status::cancelled("standard CFA cancelled");
+      if (D.expired() || faultFires(fault::HybridStandardDeadline))
+        return RunStatus =
+                   Status::deadlineExceeded("standard CFA exceeded its "
+                                            "deadline");
+    }
     auto [Set, Value] = Pending.front();
     Pending.pop_front();
     for (uint32_t T : TriggersOf[Set])
@@ -208,6 +223,7 @@ void StandardCFA::run() {
       queueInsert(Dst, Value);
     }
   }
+  return RunStatus = Status::ok();
 }
 
 DenseBitset StandardCFA::labelSet(ExprId E) const {

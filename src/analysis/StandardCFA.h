@@ -24,8 +24,10 @@
 #define STCFA_ANALYSIS_STANDARDCFA_H
 
 #include "ast/Module.h"
+#include "support/Deadline.h"
 #include "support/DenseBitset.h"
 #include "support/Hashing.h"
+#include "support/Status.h"
 
 #include <deque>
 #include <vector>
@@ -50,7 +52,16 @@ public:
   explicit StandardCFA(const Module &M);
 
   /// Solves the constraint system to its least fixed point.
-  void run();
+  void run() { (void)run(Deadline::infinite()); }
+
+  /// Governed solve: polls \p D and \p Token every few thousand worklist
+  /// pops.  On `DeadlineExceeded`/`Cancelled` the partial sets are
+  /// *under*-approximations — `HybridCFA` treats such a run as failed and
+  /// never serves them as sound answers.
+  Status run(const Deadline &D, const CancellationToken &Token = {});
+
+  /// The status of the last `run` (`Ok` for a completed fixed point).
+  const Status &runStatus() const { return RunStatus; }
 
   /// The abstraction labels that may flow to occurrence \p E.  Universe is
   /// `Module::numLabels()`.  Only valid after `run`.
@@ -107,6 +118,7 @@ private:
   U64Set EdgeSet;
   std::deque<std::pair<uint32_t, uint32_t>> Pending; // (set, value)
   StandardCFAStats Stats;
+  Status RunStatus;
   bool HasRun = false;
 };
 

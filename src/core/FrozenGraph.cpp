@@ -6,6 +6,7 @@
 
 #include "core/FrozenGraph.h"
 
+#include "support/FaultInjection.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -13,10 +14,68 @@
 using namespace stcfa;
 
 FrozenGraph::FrozenGraph(const SubtransitiveGraph &G)
-    : G(G), M(G.module()), NumNodes(G.numNodes()) {
+    : FrozenGraph(G, Deadline::infinite()) {
   assert(G.closed() && "freeze only after close()");
   assert(!G.aborted() && "an aborted graph must not be frozen");
+}
+
+FrozenGraph::FrozenGraph(const SubtransitiveGraph &G, const Deadline &D)
+    : G(G), M(G.module()) {
+  FreezeStatus = init(D);
+  if (!FreezeStatus.isOk())
+    resetToInert();
+}
+
+std::unique_ptr<FrozenGraph> FrozenGraph::freeze(const SubtransitiveGraph &G,
+                                                 Status &Out,
+                                                 const Deadline &D) {
+  auto F = std::unique_ptr<FrozenGraph>(new FrozenGraph(G, D));
+  Out = F->status();
+  if (!Out.isOk())
+    F.reset();
+  return F;
+}
+
+/// Drops every partially-built array and leaves the snapshot empty but
+/// well-defined: zero nodes, every occurrence/binder/label lookup
+/// answers "no node", so downstream queries are empty rather than UB.
+void FrozenGraph::resetToInert() {
+  NumNodes = 0;
+  OutOffsets.assign(1, 0);
+  InOffsets.assign(1, 0);
+  OutTargets.clear();
+  InTargets.clear();
+  LabelAt.clear();
+  Op.clear();
+  NodeOfExpr.assign(M.numExprs(), None);
+  NodeOfVar.assign(M.numVars(), None);
+  LabelRoots.assign(2 * size_t(M.numLabels()), None);
+}
+
+Status FrozenGraph::init(const Deadline &D) {
+  // An aborted close leaves the graph un-closed too, so test abortion
+  // first: its diagnostic (which carries the close status) is the one the
+  // caller needs.
+  if (G.aborted())
+    return Status::failedPrecondition(
+        "an aborted graph must not be frozen: " + G.closeStatus().toString());
+  if (!G.closed())
+    return Status::failedPrecondition("freeze before close()");
+  NumNodes = G.numNodes();
   Timer T;
+
+  // Governor checkpoint between compaction phases: each phase is one
+  // linear pass, so this bounds overrun at one pass, and the hot loops
+  // themselves stay check-free.
+  auto checkpoint = [&]() -> Status {
+    if (faultFires(fault::FreezeAlloc))
+      return Status::outOfMemory("CSR array allocation failed");
+    if (D.expired() || faultFires(fault::FreezeDeadline))
+      return Status::deadlineExceeded("freeze exceeded its deadline");
+    return Status::ok();
+  };
+  if (Status S = checkpoint(); !S.isOk())
+    return S;
 
   // Forward CSR: count, prefix-sum, fill.  Each row is sorted ascending
   // — queries are order-insensitive, and monotone targets keep the DFS
@@ -39,6 +98,8 @@ FrozenGraph::FrozenGraph(const SubtransitiveGraph &G)
   for (uint32_t N = 0; N != NumNodes; ++N)
     std::sort(OutTargets.begin() + OutOffsets[N],
               OutTargets.begin() + OutOffsets[N + 1]);
+  if (Status S = checkpoint(); !S.isOk())
+    return S;
 
   // Reverse CSR, derived from the forward arrays.
   InOffsets.assign(NumNodes + 1, 0);
@@ -53,6 +114,8 @@ FrozenGraph::FrozenGraph(const SubtransitiveGraph &G)
       for (uint32_t I = OutOffsets[N], E = OutOffsets[N + 1]; I != E; ++I)
         InTargets[Fill[OutTargets[I]]++] = N;
   }
+  if (Status S = checkpoint(); !S.isOk())
+    return S;
 
   // Labels and ops hoisted into flat arrays.
   LabelAt.resize(NumNodes);
@@ -83,6 +146,7 @@ FrozenGraph::FrozenGraph(const SubtransitiveGraph &G)
   }
 
   FreezeMs = T.millis();
+  return Status::ok();
 }
 
 void FrozenGraph::buildCondensation() const {

@@ -21,11 +21,17 @@
 ///     built once on first use and cached across queries.
 ///
 /// Freeze invariants: freeze only after `close()`, never after
-/// `aborted()` — enforced by assertions.  The snapshot keeps a reference
-/// to the source graph (for cold-path lookups such as `lookupDerived`)
-/// and to its `Module`; both must outlive it.  Edges added to the source
-/// graph after freezing (the incremental/polyvariant path) are *not*
-/// reflected — re-freeze instead.
+/// `aborted()`.  The governed entry point is the `freeze()` factory,
+/// which reports violations (and deadline expiry / injected faults mid
+/// compaction) as a `Status`; the legacy constructor still asserts in
+/// debug builds, and in release builds a precondition violation yields
+/// an *empty, inert* snapshot — every lookup answers "no node", every
+/// query is empty, and `status()` carries `FailedPrecondition` — rather
+/// than undefined behaviour over a half-closed graph.  The snapshot
+/// keeps a reference to the source graph (for cold-path lookups such as
+/// `lookupDerived`) and to its `Module`; both must outlive it.  Edges
+/// added to the source graph after freezing (the incremental/polyvariant
+/// path) are *not* reflected — re-freeze instead.
 ///
 /// Thread safety: after construction every accessor is `const` and
 /// lock-free; the cached condensation is materialised under
@@ -40,6 +46,8 @@
 #include "core/Condensation.h"
 #include "core/SubtransitiveGraph.h"
 #include "support/DenseBitset.h"
+#include "support/Deadline.h"
+#include "support/Status.h"
 
 #include <memory>
 #include <mutex>
@@ -54,8 +62,26 @@ public:
   /// Node/label sentinel: "no such node / no label here".
   static constexpr uint32_t None = ~0u;
 
-  /// Freezes \p G.  Requires `G.closed() && !G.aborted()`.
+  /// Freezes \p G.  Requires `G.closed() && !G.aborted()` (debug
+  /// assert); in release builds a violation produces an empty, inert
+  /// snapshot with `status()` set instead of UB.
   explicit FrozenGraph(const SubtransitiveGraph &G);
+
+  /// Governed freeze: like the constructor, but a wall-clock deadline
+  /// covers the compaction and nothing is asserted — precondition
+  /// violations, deadline expiry, and injected faults all land in
+  /// `status()` with the snapshot left empty and inert.
+  FrozenGraph(const SubtransitiveGraph &G, const Deadline &D);
+
+  /// Factory for the governed pipeline: returns the snapshot, or null
+  /// with \p Out explaining why (`FailedPrecondition` for an unclosed or
+  /// aborted graph, `DeadlineExceeded`, or an injected fault's code).
+  static std::unique_ptr<FrozenGraph> freeze(const SubtransitiveGraph &G,
+                                             Status &Out,
+                                             const Deadline &D = {});
+
+  /// `Ok` for a usable snapshot; the failure reason for an inert one.
+  const Status &status() const { return FreezeStatus; }
 
   const Module &module() const { return M; }
   const SubtransitiveGraph &source() const { return G; }
@@ -110,11 +136,14 @@ public:
   const std::vector<DenseBitset> &sccLabelSets() const;
 
 private:
+  Status init(const Deadline &D);
+  void resetToInert();
   void buildCondensation() const;
 
   const SubtransitiveGraph &G;
   const Module &M;
   uint32_t NumNodes = 0;
+  Status FreezeStatus;
 
   std::vector<uint32_t> OutOffsets, OutTargets;
   std::vector<uint32_t> InOffsets, InTargets;

@@ -6,7 +6,10 @@
 
 #include "core/QueryEngine.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
+#include <atomic>
 
 using namespace stcfa;
 
@@ -285,6 +288,83 @@ std::vector<DenseBitset> QueryEngine::allLabelSets(bool UseScc) {
     if (N != FrozenGraph::None)
       Out[I] = PerNode[N];
   }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Governed batched queries
+//===----------------------------------------------------------------------===//
+
+template <typename ItemFn>
+void QueryEngine::runGoverned(size_t N, const BatchControl &C,
+                              BatchOutcome &Out, ItemFn Item) {
+  Out.S = Status::ok();
+  Out.Completed = 0;
+  Out.Done.assign(N, 0);
+
+  // One flag stops every lane; the CAS winner owns the status slot, so
+  // the first failure is the one reported and no lock is needed.
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Completed{0};
+  auto fail = [&](Status S) {
+    bool Expected = false;
+    if (Stop.compare_exchange_strong(Expected, true))
+      Out.S = std::move(S);
+  };
+  auto RunShard = [&](unsigned Lane, size_t Index) {
+    Scratch &S = Lanes[Lane];
+    Shard Sh = shardOf(N, NumThreads, Index);
+    for (size_t I = Sh.Begin; I != Sh.End; ++I) {
+      if (Stop.load(std::memory_order_relaxed))
+        return;
+      if (C.Token.cancelled() || faultFires(fault::QueryBatchCancel))
+        return fail(Status::cancelled("batched query cancelled"));
+      if (C.D.expired() || faultFires(fault::QueryBatchDeadline))
+        return fail(
+            Status::deadlineExceeded("batched query exceeded its deadline"));
+      Item(S, I);
+      Out.Done[I] = 1;
+      Completed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  if (Pool)
+    Pool->parallelFor(NumThreads, RunShard);
+  else
+    RunShard(0, 0);
+  Out.Completed = Completed.load();
+}
+
+std::vector<DenseBitset>
+QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es,
+                           const BatchControl &C, BatchOutcome &Outcome) {
+  std::vector<DenseBitset> Out(Es.size(), DenseBitset(M.numLabels()));
+  runGoverned(Es.size(), C, Outcome, [&](Scratch &S, size_t I) {
+    uint32_t Start = F.nodeOfExpr(Es[I]);
+    if (Start != FrozenGraph::None)
+      Out[I] = labelsFromNode(S, Start);
+  });
+  return Out;
+}
+
+std::vector<char>
+QueryEngine::isLabelInBatch(const std::vector<std::pair<ExprId, LabelId>> &Qs,
+                            const BatchControl &C, BatchOutcome &Outcome) {
+  std::vector<char> Out(Qs.size(), 0);
+  runGoverned(Qs.size(), C, Outcome, [&](Scratch &S, size_t I) {
+    uint32_t Start = F.nodeOfExpr(Qs[I].first);
+    Out[I] = Start != FrozenGraph::None &&
+             labelReachableFrom(S, Start, Qs[I].second.index());
+  });
+  return Out;
+}
+
+std::vector<std::vector<ExprId>>
+QueryEngine::occurrencesOfBatch(const std::vector<LabelId> &Ls,
+                                const BatchControl &C, BatchOutcome &Outcome) {
+  std::vector<std::vector<ExprId>> Out(Ls.size());
+  runGoverned(Ls.size(), C, Outcome, [&](Scratch &S, size_t I) {
+    markOccurrences(S, Ls[I], Out[I]);
+  });
   return Out;
 }
 

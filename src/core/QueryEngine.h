@@ -24,7 +24,9 @@
 #define STCFA_CORE_QUERYENGINE_H
 
 #include "core/FrozenGraph.h"
+#include "support/Deadline.h"
 #include "support/DenseBitset.h"
+#include "support/Status.h"
 #include "support/ThreadPool.h"
 
 #include <memory>
@@ -32,6 +34,26 @@
 #include <vector>
 
 namespace stcfa {
+
+/// Resource controls for a governed batched query: a wall-clock deadline
+/// and a cooperative cancellation token.  Default-constructed controls
+/// never fire (infinite deadline, unarmed token).
+struct BatchControl {
+  Deadline D;
+  CancellationToken Token;
+};
+
+/// Outcome of a governed batch.  On `DeadlineExceeded`/`Cancelled` the
+/// result vector is *partial*: `Done[I]` says whether slot `I` holds a
+/// real answer (unanswered slots are default-constructed — empty set,
+/// false, or empty list).
+struct BatchOutcome {
+  Status S;
+  /// Items answered before the governor stopped the batch.
+  uint64_t Completed = 0;
+  /// Per-item completion flags, `Done.size() == batch size`.
+  std::vector<char> Done;
+};
 
 /// Parallel batched reachability queries over a frozen graph.
 class QueryEngine {
@@ -74,6 +96,30 @@ public:
   std::vector<std::vector<ExprId>>
   occurrencesOfBatch(const std::vector<LabelId> &Ls);
 
+  //===--- governed batched queries ----------------------------------------//
+  //
+  // Same sharding as above, but every lane polls the deadline and
+  // cancellation token *between* items — individual DFS traversals stay
+  // check-free, so overrun is bounded by one query per lane.  A stopped
+  // batch returns partial results with \p Out explaining why; the
+  // ungoverned overloads above compile to the same hot loops with zero
+  // polling.
+
+  /// Governed `labelsOfBatch`: unanswered slots are empty sets.
+  std::vector<DenseBitset> labelsOfBatch(const std::vector<ExprId> &Es,
+                                         const BatchControl &C,
+                                         BatchOutcome &Out);
+
+  /// Governed `isLabelInBatch`: unanswered slots are 0.
+  std::vector<char>
+  isLabelInBatch(const std::vector<std::pair<ExprId, LabelId>> &Qs,
+                 const BatchControl &C, BatchOutcome &Out);
+
+  /// Governed `occurrencesOfBatch`: unanswered slots are empty lists.
+  std::vector<std::vector<ExprId>>
+  occurrencesOfBatch(const std::vector<LabelId> &Ls, const BatchControl &C,
+                     BatchOutcome &Out);
+
   /// Complete CFA information, one label set per occurrence.  With
   /// \p UseScc the frozen graph's cached condensation answers repeat
   /// calls in output-copy time; without it, per-node DFS memoization is
@@ -94,6 +140,11 @@ private:
   };
 
   void bumpEpoch(Scratch &S);
+  /// Shards \p N items across the lanes, invoking `Item(Scratch&, I)`
+  /// per item with a governor poll before each one.
+  template <typename ItemFn>
+  void runGoverned(size_t N, const BatchControl &C, BatchOutcome &Out,
+                   ItemFn Item);
   template <typename FnT>
   void forEachReachable(Scratch &S, uint32_t Start, FnT Fn);
   DenseBitset labelsFromNode(Scratch &S, uint32_t Start);

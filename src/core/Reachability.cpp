@@ -15,6 +15,18 @@ using namespace stcfa;
 Reachability::Reachability(const SubtransitiveGraph &G)
     : G(G), M(G.module()), Stamp(G.numNodes(), 0) {}
 
+bool Reachability::usable() const {
+  // Checked dynamically rather than at construction: an aborted graph
+  // must answer empty even if the abort happened after this engine was
+  // created (the incremental close path).
+  if (!G.aborted())
+    return true;
+  assert(false && "querying an aborted graph");
+  QueryStatus = Status::failedPrecondition(
+      "query on an aborted graph: " + G.closeStatus().toString());
+  return false;
+}
+
 void Reachability::bumpEpoch() {
   // When the 32-bit epoch wraps, stale stamps from 2^32 queries ago
   // would alias the new epoch; reset them all once and restart from 1.
@@ -46,6 +58,8 @@ void Reachability::forEachReachable(NodeId Start, FnT Fn) {
 }
 
 bool Reachability::isLabelIn(ExprId E, LabelId L) {
+  if (!usable())
+    return false;
   NodeId Start = G.lookupExprNode(E);
   if (!Start.isValid())
     return false;
@@ -62,6 +76,8 @@ bool Reachability::isLabelIn(ExprId E, LabelId L) {
 
 DenseBitset Reachability::labelsOfNode(NodeId N) {
   DenseBitset Out(M.numLabels());
+  if (!usable())
+    return Out;
   forEachReachable(N, [&](NodeId R) {
     if (LabelId L = G.labelOf(R); L.isValid())
       Out.insert(L.index());
@@ -71,6 +87,8 @@ DenseBitset Reachability::labelsOfNode(NodeId N) {
 }
 
 DenseBitset Reachability::labelsOf(ExprId E) {
+  if (!usable())
+    return DenseBitset(M.numLabels());
   NodeId Start = G.lookupExprNode(E);
   if (!Start.isValid())
     return DenseBitset(M.numLabels());
@@ -78,6 +96,8 @@ DenseBitset Reachability::labelsOf(ExprId E) {
 }
 
 DenseBitset Reachability::labelsOfVar(VarId V) {
+  if (!usable())
+    return DenseBitset(M.numLabels());
   NodeId Start = G.lookupVarNode(V);
   if (!Start.isValid())
     return DenseBitset(M.numLabels());
@@ -86,6 +106,8 @@ DenseBitset Reachability::labelsOfVar(VarId V) {
 
 std::vector<ExprId> Reachability::occurrencesOf(LabelId L) {
   std::vector<ExprId> Out;
+  if (!usable())
+    return Out;
   // Polyvariant instantiations carry labels on separate `Label` nodes, so
   // the reverse search starts from both.
   bumpEpoch();
@@ -123,6 +145,8 @@ std::vector<ExprId> Reachability::occurrencesOf(LabelId L) {
 
 std::vector<DenseBitset> Reachability::allLabelSets(bool UseScc) {
   std::vector<DenseBitset> Out(M.numExprs(), DenseBitset(M.numLabels()));
+  if (!usable())
+    return Out;
 
   if (!UseScc) {
     // Repeated Algorithm 2, memoized per canonical node (congruence

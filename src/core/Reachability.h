@@ -16,6 +16,13 @@
 ///
 /// Queries never mutate the graph; run them after `build()` + `close()`.
 ///
+/// Aborted-graph contract: a graph whose close phase was stopped by a
+/// budget, deadline, or cancellation (`G.aborted()`) is incomplete, and
+/// reachability over it would be unsound (missing flows).  Queries on an
+/// aborted graph assert in debug builds and return *empty* answers in
+/// release builds, with `status()` reporting `FailedPrecondition` —
+/// never a partial, silently-wrong set.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STCFA_CORE_REACHABILITY_H
@@ -23,6 +30,7 @@
 
 #include "core/SubtransitiveGraph.h"
 #include "support/DenseBitset.h"
+#include "support/Status.h"
 
 namespace stcfa {
 
@@ -57,7 +65,14 @@ public:
   /// Nodes touched by queries so far (machine-independent work measure).
   uint64_t nodesVisited() const { return Visited; }
 
+  /// `Ok` over a usable graph; `FailedPrecondition` when the source
+  /// graph is aborted (every query then answers empty).
+  const Status &status() const { return QueryStatus; }
+
 private:
+  /// True when queries may run; false (with `QueryStatus` set) over an
+  /// aborted graph.
+  bool usable() const;
   template <typename FnT> void forEachReachable(NodeId Start, FnT Fn);
   /// Advances the query epoch, zeroing all stamps when the 32-bit
   /// counter wraps (a long-lived object answers > 2^32 queries).
@@ -70,6 +85,7 @@ private:
   uint32_t Epoch = 0;
   std::vector<NodeId> Stack;
   uint64_t Visited = 0;
+  mutable Status QueryStatus;
 };
 
 } // namespace stcfa

@@ -7,6 +7,7 @@
 #include "core/SubtransitiveGraph.h"
 
 #include "ast/Printer.h"
+#include "support/FaultInjection.h"
 
 using namespace stcfa;
 
@@ -524,14 +525,41 @@ void SubtransitiveGraph::buildExpr(ExprId Id, const Expr *E) {
   assert(false && "unknown expression kind");
 }
 
-void SubtransitiveGraph::close() {
+Status SubtransitiveGraph::close(const Deadline &D,
+                                 const CancellationToken &Token) {
   assert(Built && "close() before build()");
   InClosePhase = true;
+  auto governedStop = [&](Status S) {
+    Aborted = true;
+    CloseStatus = std::move(S);
+    return CloseStatus;
+  };
+  // Budgets are O(1) compares, checked every iteration; the clock, the
+  // token, and the fault points are polled once per stride (and on the
+  // first iteration, so tiny inputs still hit the checkpoint).
+  constexpr uint32_t GovernorStride = 1024;
+  uint32_t Stride = 0;
   while (DemandCursor != PendingDemand.size() ||
          NextUnprocessedEdge != Edges.size()) {
-    if (Config.MaxNodes != 0 && Ops.size() > Config.MaxNodes) {
-      Aborted = true;
-      return;
+    if ((Config.MaxNodes != 0 && Ops.size() > Config.MaxNodes) ||
+        faultFires(fault::CloseNodeBudget))
+      return governedStop(Status::resourceExhausted(
+          "close phase exceeded the node budget (" +
+          std::to_string(Config.MaxNodes) + ")"));
+    if ((Config.MaxEdges != 0 && Edges.size() > Config.MaxEdges) ||
+        faultFires(fault::CloseEdgeBudget))
+      return governedStop(Status::resourceExhausted(
+          "close phase exceeded the edge budget (" +
+          std::to_string(Config.MaxEdges) + ")"));
+    if (Stride++ % GovernorStride == 0) {
+      if (Token.cancelled() || faultFires(fault::CloseCancel))
+        return governedStop(Status::cancelled("close phase cancelled"));
+      if (D.expired() || faultFires(fault::CloseDeadline))
+        return governedStop(
+            Status::deadlineExceeded("close phase exceeded its deadline"));
+      if (faultFires(fault::CloseAlloc))
+        return governedStop(
+            Status::outOfMemory("close phase node-arena allocation failed"));
     }
     if (DemandCursor != PendingDemand.size()) {
       Alias A = PendingDemand[DemandCursor++];
@@ -542,6 +570,8 @@ void SubtransitiveGraph::close() {
     processEdge(E.From, E.To);
   }
   Closed = true;
+  CloseStatus = Status::ok();
+  return CloseStatus;
 }
 
 void SubtransitiveGraph::processEdge(NodeId A, NodeId B) {

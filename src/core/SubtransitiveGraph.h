@@ -39,7 +39,9 @@
 #define STCFA_CORE_SUBTRANSITIVEGRAPH_H
 
 #include "ast/Module.h"
+#include "support/Deadline.h"
 #include "support/Hashing.h"
+#include "support/Status.h"
 
 #include <vector>
 
@@ -83,6 +85,10 @@ struct SubtransitiveConfig {
   /// detect programs outside the bounded-type classes and fall back to
   /// the standard algorithm (the paper's Conclusion).
   uint64_t MaxNodes = 0;
+  /// Abort the close phase once this many edges exist (0 = unlimited).
+  /// Catches blowups the node budget misses: congruence summaries keep
+  /// the node count linear while edges grow quadratically.
+  uint64_t MaxEdges = 0;
 };
 
 /// Node discriminator.
@@ -148,11 +154,26 @@ public:
   /// all interface paths of a fragment.
   void forceDemand(NodeId N) { setDemanded(N); }
 
-  /// Runs the demand-driven closure to fixpoint.
-  void close();
+  /// Runs the demand-driven closure to fixpoint, governed by the config
+  /// budgets (`MaxNodes`/`MaxEdges`), a wall-clock deadline, and a
+  /// cooperative cancellation token.  Budgets are checked every
+  /// iteration (O(1) compares); the clock, the token, and the registered
+  /// fault points are polled once per governor stride so the fixpoint
+  /// loop stays tight.  On any governed stop the graph is marked
+  /// `aborted()` and the returned status says why
+  /// (`ResourceExhausted` / `DeadlineExceeded` / `Cancelled` /
+  /// `OutOfMemory` under injection).
+  Status close(const Deadline &D, const CancellationToken &Token = {});
 
-  /// True when `close()` hit the `MaxNodes` budget and stopped early; the
-  /// graph is then incomplete and must not be queried.
+  /// Ungoverned closure (legacy entry point): no deadline, no token.
+  void close() { (void)close(Deadline::infinite()); }
+
+  /// Why the last `close()` stopped (`Ok` after a clean fixpoint).
+  const Status &closeStatus() const { return CloseStatus; }
+
+  /// True when `close()` hit a budget, the deadline, or a cancellation
+  /// request and stopped early; the graph is then incomplete and must
+  /// not be queried.
   bool aborted() const { return Aborted; }
 
   /// True once `close()` has run to fixpoint at least once; the freeze
@@ -359,6 +380,7 @@ private:
   bool Built = false;
   bool Closed = false;
   bool Aborted = false;
+  Status CloseStatus;
   NodeId Top = NodeId::invalid();
 };
 

@@ -54,11 +54,24 @@ struct Options {
   std::string Congruence = "bytype";
   std::string Policy = "paper";
   unsigned Threads = 1;
+  /// Wall-clock budget for the whole analysis+query pipeline; -1 = none.
+  int64_t TimeoutMs = -1;
+  /// Node budget for the subtransitive close phase; 0 = unlimited.
+  uint64_t CloseBudget = 0;
+  /// Degradation mode for --analysis=hybrid; empty = flag not given.
+  std::string Degrade;
   bool Frozen = false;
   bool Stats = false;
   bool Run = false;
   bool Print = false;
   bool DumpGraph = false;
+
+  /// True when any resource-governor flag was given: only then do the
+  /// degradation exit codes (3-6) apply, so ungoverned invocations keep
+  /// the historical 0/1/2 behaviour.
+  bool governed() const {
+    return TimeoutMs >= 0 || CloseBudget > 0 || !Degrade.empty();
+  }
 };
 
 int usage(const char *Argv0) {
@@ -76,10 +89,21 @@ int usage(const char *Argv0) {
       "  --policy=<p>           paper (default) | nodeexists | undemanded\n"
       "  --frozen               serve queries from a frozen CSR snapshot\n"
       "  --threads=<n>          query-engine worker lanes (implies --frozen)\n"
+      "  --timeout-ms=<n>       wall-clock deadline over analysis + queries\n"
+      "  --close-budget=<n>     node budget for the subtransitive close\n"
+      "                         (subtransitive/poly analyses only)\n"
+      "  --degrade=<m>          off | standard (default) | partial —\n"
+      "                         hybrid degradation ladder (hybrid only;\n"
+      "                         'off' conflicts with --timeout-ms)\n"
       "  --stats                print program/type/graph statistics\n"
       "  --print                pretty-print the parsed program\n"
       "  --dump-graph           print every subtransitive edge\n"
-      "  --run                  interpret the program\n",
+      "  --run                  interpret the program\n"
+      "exit codes (3-6 only under --timeout-ms/--close-budget/--degrade):\n"
+      "  0  success             1  input error        2  usage/flag error\n"
+      "  3  deadline/cancelled  4  served by standard-cubic fallback\n"
+      "  5  served by bounded partial answer\n"
+      "  6  budget exhausted with no degradation permitted\n",
       Argv0);
   return 2;
 }
@@ -226,6 +250,30 @@ int main(int Argc, char **Argv) {
       if (Opts.Threads == 0)
         Opts.Threads = 1;
       Opts.Frozen = true;
+    } else if (startsWith(A, "--timeout-ms=")) {
+      std::string N = A.substr(13);
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "error: --timeout-ms expects a number, got "
+                             "'%s'\n",
+                     N.c_str());
+        return 2;
+      }
+      Opts.TimeoutMs = std::stoll(N);
+    } else if (startsWith(A, "--close-budget=")) {
+      std::string N = A.substr(15);
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "error: --close-budget expects a number, got "
+                             "'%s'\n",
+                     N.c_str());
+        return 2;
+      }
+      Opts.CloseBudget = std::stoull(N);
+      if (Opts.CloseBudget == 0) {
+        std::fprintf(stderr, "error: --close-budget must be positive\n");
+        return 2;
+      }
+    } else if (startsWith(A, "--degrade=")) {
+      Opts.Degrade = A.substr(10);
     } else if (A == "--frozen")
       Opts.Frozen = true;
     else if (A == "--stats")
@@ -242,6 +290,39 @@ int main(int Argc, char **Argv) {
       Opts.InputFile = A;
     else
       return usage(Argv[0]);
+  }
+
+  // Reject mutually inconsistent flag combinations up front, before any
+  // work: a clear message and exit 2 beat a silently-ignored flag.
+  if (!Opts.Degrade.empty() && Opts.Degrade != "off" &&
+      Opts.Degrade != "standard" && Opts.Degrade != "partial") {
+    std::fprintf(stderr,
+                 "error: --degrade expects off|standard|partial, got '%s'\n",
+                 Opts.Degrade.c_str());
+    return 2;
+  }
+  if (!Opts.Degrade.empty() && Opts.Analysis != "hybrid") {
+    std::fprintf(stderr,
+                 "error: --degrade only applies to --analysis=hybrid "
+                 "(got --analysis=%s)\n",
+                 Opts.Analysis.c_str());
+    return 2;
+  }
+  if (Opts.Degrade == "off" && Opts.TimeoutMs >= 0) {
+    std::fprintf(stderr,
+                 "error: --degrade=off conflicts with --timeout-ms: a "
+                 "deadline needs a degradation rung to fall to; drop one "
+                 "of the flags\n");
+    return 2;
+  }
+  if (Opts.CloseBudget > 0 && Opts.Analysis != "subtransitive" &&
+      Opts.Analysis != "poly") {
+    std::fprintf(stderr,
+                 "error: --close-budget applies to the subtransitive close "
+                 "(--analysis=subtransitive|poly); --analysis=%s has no "
+                 "close phase it could bound\n",
+                 Opts.Analysis.c_str());
+    return 2;
   }
 
   bool Ok = true;
@@ -299,31 +380,72 @@ int main(int Argc, char **Argv) {
   else
     return usage(Argv[0]);
 
+  // One absolute deadline covers the whole pipeline (analysis, freeze,
+  // queries): later stages see only whatever wall-clock remains.
+  GC.MaxNodes = Opts.CloseBudget;
+  Deadline D = Opts.TimeoutMs >= 0 ? Deadline::afterMillis(Opts.TimeoutMs)
+                                   : Deadline::infinite();
+  int ExitCode = 0;
+
   AnalysisResult R;
   Timer T;
   if (Opts.Analysis == "standard") {
     R.Std = std::make_unique<StandardCFA>(*M);
-    R.Std->run();
+    Status S = R.Std->run(D);
+    if (!S.isOk()) {
+      std::fprintf(stderr, "error: standard analysis aborted: %s\n",
+                   S.toString().c_str());
+      return 3;
+    }
   } else if (Opts.Analysis == "unify") {
     R.Uni = std::make_unique<UnificationCFA>(*M);
     R.Uni->run();
   } else if (Opts.Analysis == "poly") {
     R.Poly = std::make_unique<PolyvariantCFA>(*M, GC);
     R.Poly->run();
+    if (R.Poly->graph().aborted()) {
+      std::fprintf(stderr, "error: close aborted: %s\n",
+                   R.Poly->graph().closeStatus().toString().c_str());
+      return R.Poly->graph().closeStatus() == StatusCode::ResourceExhausted
+                 ? 6
+                 : 3;
+    }
     R.Reach = std::make_unique<Reachability>(R.Poly->graph());
   } else if (Opts.Analysis == "hybrid") {
-    R.Hybrid = std::make_unique<HybridCFA>(*M, /*BudgetFactor=*/8,
-                                           Opts.Threads);
-    R.Hybrid->run();
-    if (Opts.Stats)
-      std::printf("hybrid engine: %s\n",
-                  R.Hybrid->engine() == HybridCFA::Engine::Subtransitive
-                      ? "subtransitive"
-                      : "standard (fallback)");
+    HybridOptions HO;
+    HO.BudgetFactor = 8;
+    HO.Threads = Opts.Threads;
+    HO.D = D;
+    HO.Degrade = Opts.Degrade == "off"       ? DegradeMode::Off
+                 : Opts.Degrade == "partial" ? DegradeMode::Partial
+                                             : DegradeMode::Standard;
+    R.Hybrid = std::make_unique<HybridCFA>(*M, HO);
+    Status S = R.Hybrid->solve();
+    if (Opts.Stats) {
+      std::printf("hybrid engine: %s\n", engineName(R.Hybrid->engine()));
+      std::printf("degradation report: %s\n",
+                  R.Hybrid->report().toJson().c_str());
+    }
+    if (!S.isOk()) {
+      std::fprintf(stderr, "error: hybrid analysis served no answer: %s\n",
+                   S.toString().c_str());
+      return S == StatusCode::ResourceExhausted ? 6 : 3;
+    }
+    if (Opts.governed()) {
+      if (R.Hybrid->engine() == HybridCFA::Engine::Standard)
+        ExitCode = 4;
+      else if (R.Hybrid->engine() == HybridCFA::Engine::PartialAnswer)
+        ExitCode = 5;
+    }
   } else if (Opts.Analysis == "subtransitive") {
     R.Graph = std::make_unique<SubtransitiveGraph>(*M, GC);
     R.Graph->build();
-    R.Graph->close();
+    Status S = R.Graph->close(D);
+    if (!S.isOk()) {
+      std::fprintf(stderr, "error: close aborted: %s\n",
+                   S.toString().c_str());
+      return S == StatusCode::ResourceExhausted ? 6 : 3;
+    }
     R.Reach = std::make_unique<Reachability>(*R.Graph);
   } else {
     return usage(Argv[0]);
@@ -391,12 +513,39 @@ int main(int Argc, char **Argv) {
   if (Opts.Query == "labels") {
     std::printf("L(root) = %s\n", renderSet(*M, R.labels(M->root())).c_str());
   } else if (Opts.Query == "all-labels") {
-    for (uint32_t I = 0; I != M->numExprs(); ++I) {
-      DenseBitset Set = R.labels(ExprId(I));
-      if (Set.empty())
-        continue;
-      std::printf("%-18s %s\n", describeExpr(*M, ExprId(I)).c_str(),
-                  renderSet(*M, Set).c_str());
+    QueryEngine *E = R.engine();
+    if (E && Opts.TimeoutMs >= 0) {
+      // Governed batch: the engine polls the deadline between shards and
+      // returns whatever completed, flagged per item.
+      std::vector<ExprId> Es;
+      Es.reserve(M->numExprs());
+      for (uint32_t I = 0; I != M->numExprs(); ++I)
+        Es.push_back(ExprId(I));
+      BatchControl BC;
+      BC.D = D;
+      BatchOutcome Outcome;
+      std::vector<DenseBitset> Sets = E->labelsOfBatch(Es, BC, Outcome);
+      for (uint32_t I = 0; I != M->numExprs(); ++I) {
+        if (!Outcome.Done[I] || Sets[I].empty())
+          continue;
+        std::printf("%-18s %s\n", describeExpr(*M, ExprId(I)).c_str(),
+                    renderSet(*M, Sets[I]).c_str());
+      }
+      if (!Outcome.S.isOk()) {
+        std::fprintf(stderr,
+                     "note: batch stopped early: %s (%llu of %u answered)\n",
+                     Outcome.S.toString().c_str(),
+                     (unsigned long long)Outcome.Completed, M->numExprs());
+        ExitCode = 3;
+      }
+    } else {
+      for (uint32_t I = 0; I != M->numExprs(); ++I) {
+        DenseBitset Set = R.labels(ExprId(I));
+        if (Set.empty())
+          continue;
+        std::printf("%-18s %s\n", describeExpr(*M, ExprId(I)).c_str(),
+                    renderSet(*M, Set).c_str());
+      }
     }
   } else if (Opts.Query == "effects") {
     const SubtransitiveGraph *G = R.graph();
@@ -519,5 +668,5 @@ int main(int Argc, char **Argv) {
       std::printf("aborted: %s\n", Run.Abort.c_str());
   }
 
-  return 0;
+  return ExitCode;
 }

@@ -51,6 +51,24 @@ private:
     Failed = true;
   }
 
+  //===--- recursion guard --------------------------------------------------//
+  //
+  // Every self-recursive grammar production passes through enter()/leave()
+  // on one shared depth counter, so deeply nested input of *any* shape —
+  // parens, prefix chains (`!!!...x`), projection chains (`#1 #1 ...`),
+  // arrow/`Ref` types — produces a diagnostic instead of a stack overflow.
+
+  bool enter(const char *What) {
+    if (Depth >= MaxDepth) {
+      fail(std::string(What) + " nesting too deep");
+      return false;
+    }
+    ++Depth;
+    return true;
+  }
+
+  void leave() { --Depth; }
+
   //===--- scopes ----------------------------------------------------------//
 
   VarId bindVar(Symbol Name) {
@@ -76,6 +94,7 @@ private:
 
   void parseDataDecl();
   TypeId parseType();
+  TypeId parseTypeImpl();
   TypeId parseTypeAtom();
   ExprId parseExpr();
   ExprId parseExprImpl();
@@ -392,6 +411,16 @@ void ParserImpl::parseDataDecl() {
 }
 
 TypeId ParserImpl::parseType() {
+  // Right-recursive arrow chains (`A -> A -> ...`) and nested tuple types
+  // cost stack frames per level, exactly like expressions.
+  if (!enter("type"))
+    return M->types().unitType();
+  TypeId Out = parseTypeImpl();
+  leave();
+  return Out;
+}
+
+TypeId ParserImpl::parseTypeImpl() {
   TypeId Left = parseTypeAtom();
   if (Failed)
     return Left;
@@ -416,8 +445,14 @@ TypeId ParserImpl::parseTypeAtom() {
       return TT.unitType();
     if (Name == "String")
       return TT.stringType();
-    if (Name == "Ref")
-      return TT.refType(parseTypeAtom());
+    if (Name == "Ref") {
+      // `Ref Ref Ref ... t` recurses without passing through parseType.
+      if (!enter("type"))
+        return TT.unitType();
+      TypeId Inner = parseTypeAtom();
+      leave();
+      return TT.refType(Inner);
+    }
     Symbol S = M->sym(Name);
     ReferencedDataNames.emplace_back(S, Loc);
     return TT.dataType(S);
@@ -441,13 +476,10 @@ ExprId ParserImpl::parseExpr() {
     return ExprId::invalid();
   // Bound the recursive descent: deeply nested input must produce a
   // diagnostic, not a stack overflow.
-  if (Depth >= MaxDepth) {
-    fail("expression nesting too deep");
+  if (!enter("expression"))
     return ExprId::invalid();
-  }
-  ++Depth;
   ExprId Out = parseExprImpl();
-  --Depth;
+  leave();
   return Out;
 }
 
@@ -616,7 +648,12 @@ ExprId ParserImpl::parsePrefix() {
   else
     return parseAtom();
   bump();
+  // Prefix chains (`!!!...x`, `ref ref ... x`) recurse without passing
+  // through parseExpr, so they need their own depth accounting.
+  if (!enter("expression"))
+    return ExprId::invalid();
   ExprId Arg = parsePrefix();
+  leave();
   if (Failed)
     return ExprId::invalid();
   return M->makePrim(Loc, Op, {Arg});
@@ -700,7 +737,11 @@ ExprId ParserImpl::parseAtom() {
     }
     uint32_t Index = static_cast<uint32_t>(Tok.IntValue - 1);
     bump();
+    // Projection chains (`#1 #1 ... x`) recurse atom-to-atom.
+    if (!enter("expression"))
+      return ExprId::invalid();
     ExprId Tuple = parseAtom();
+    leave();
     if (Failed)
       return ExprId::invalid();
     return M->makeProj(Loc, Index, Tuple);

@@ -1,0 +1,88 @@
+//===-- support/FaultInjection.cpp - Deterministic fault points -----------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <atomic>
+
+using namespace stcfa;
+
+namespace {
+
+// The central registry.  Adding a governed failure point means adding a
+// row here and polling `faultFires(fault::...)` on the production
+// failure branch; the fault-injection suite iterates this table.
+constexpr FaultSite Sites[] = {
+    {fault::CloseNodeBudget, FaultKind::Budget,
+     "close phase reports the node budget exhausted"},
+    {fault::CloseEdgeBudget, FaultKind::Budget,
+     "close phase reports the edge budget exhausted"},
+    {fault::CloseDeadline, FaultKind::Timeout,
+     "close phase reports its deadline expired"},
+    {fault::CloseCancel, FaultKind::Cancel,
+     "close phase observes a cancellation request"},
+    {fault::CloseAlloc, FaultKind::Alloc,
+     "close phase reports a node-arena allocation failure"},
+    {fault::FreezeDeadline, FaultKind::Timeout,
+     "CSR compaction reports its deadline expired"},
+    {fault::FreezeAlloc, FaultKind::Alloc,
+     "CSR compaction reports an array allocation failure"},
+    {fault::QueryBatchDeadline, FaultKind::Timeout,
+     "a batched query observes its deadline expired between items"},
+    {fault::QueryBatchCancel, FaultKind::Cancel,
+     "a batched query observes a cancellation request between items"},
+    {fault::HybridSubtransitiveBudget, FaultKind::Budget,
+     "the hybrid's subtransitive rung reports budget exhaustion"},
+    {fault::HybridFreezeAlloc, FaultKind::Alloc,
+     "the hybrid's freeze step reports an allocation failure"},
+    {fault::HybridStandardDeadline, FaultKind::Timeout,
+     "the hybrid's standard-CFA rung reports its deadline expired"},
+};
+
+#if STCFA_FAULT_INJECTION
+// Armed state: a pointer into `Sites` plus a countdown of polls to let
+// pass before firing.  Query lanes poll concurrently, so both are
+// atomics; arming happens quiescently (tests arm before running).
+std::atomic<const FaultSite *> Armed{nullptr};
+std::atomic<uint64_t> SkipsLeft{0};
+#endif
+
+} // namespace
+
+std::span<const FaultSite> stcfa::registeredFaultSites() { return Sites; }
+
+#if STCFA_FAULT_INJECTION
+
+bool stcfa::armFault(std::string_view Name, uint64_t SkipHits) {
+  for (const FaultSite &S : Sites) {
+    if (S.Name == Name) {
+      SkipsLeft.store(SkipHits, std::memory_order_relaxed);
+      Armed.store(&S, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+void stcfa::disarmFaults() {
+  Armed.store(nullptr, std::memory_order_release);
+}
+
+bool stcfa::faultFires(std::string_view Name) {
+  const FaultSite *S = Armed.load(std::memory_order_acquire);
+  if (!S || S->Name != Name)
+    return false;
+  // Let the first SkipHits polls pass (deterministic mid-loop firing).
+  uint64_t Left = SkipsLeft.load(std::memory_order_relaxed);
+  while (Left != 0) {
+    if (SkipsLeft.compare_exchange_weak(Left, Left - 1,
+                                        std::memory_order_relaxed))
+      return false;
+  }
+  return true;
+}
+
+#endif // STCFA_FAULT_INJECTION

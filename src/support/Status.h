@@ -1,0 +1,135 @@
+//===-- support/Status.h - Recoverable error codes --------------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable error reporting for the analysis pipeline.  The project is
+/// exception-free (diagnostics for front-end errors, and — before this
+/// layer — assert-and-crash for everything else), so every fallible
+/// pipeline stage returns or records a `Status`: the close phase under a
+/// node/edge/wall-clock budget, freezing, batched queries under a
+/// deadline, and the hybrid degradation ladder all report through it.
+///
+/// A `Status` is a small value type: a code plus an optional message.
+/// `Status::ok()` is the success singleton; failures carry a
+/// human-readable reason (`"close phase exceeded 12ms deadline"`).  Codes
+/// deliberately mirror the common RPC vocabulary so driver exit codes and
+/// machine-readable degradation reports can map 1:1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_SUPPORT_STATUS_H
+#define STCFA_SUPPORT_STATUS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace stcfa {
+
+/// Outcome classification for fallible pipeline stages.
+enum class StatusCode : uint8_t {
+  Ok = 0,
+  /// A cooperative cancellation token was triggered.
+  Cancelled,
+  /// A wall-clock deadline expired before the stage finished.
+  DeadlineExceeded,
+  /// A node/edge budget (or other countable resource) was exhausted.
+  ResourceExhausted,
+  /// An allocation failed (real or injected); the stage rolled back.
+  OutOfMemory,
+  /// The stage was invoked on an object in the wrong state (e.g.
+  /// freezing an aborted graph, querying before `close()`).
+  FailedPrecondition,
+  /// Caller-supplied configuration is inconsistent or out of range.
+  InvalidArgument,
+  /// A bug: an invariant the stage relies on did not hold.
+  Internal,
+};
+
+/// Stable lower-case name for a code (degradation reports, logs).
+inline const char *statusCodeName(StatusCode C) {
+  switch (C) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::Cancelled:
+    return "cancelled";
+  case StatusCode::DeadlineExceeded:
+    return "deadline-exceeded";
+  case StatusCode::ResourceExhausted:
+    return "resource-exhausted";
+  case StatusCode::OutOfMemory:
+    return "out-of-memory";
+  case StatusCode::FailedPrecondition:
+    return "failed-precondition";
+  case StatusCode::InvalidArgument:
+    return "invalid-argument";
+  case StatusCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+/// A code plus an optional human-readable message.
+class Status {
+public:
+  /// Default-constructed statuses are success.
+  Status() = default;
+  Status(StatusCode Code, std::string Message = {})
+      : Code(Code), Msg(std::move(Message)) {}
+
+  static Status ok() { return Status(); }
+  static Status cancelled(std::string M = "cancelled") {
+    return {StatusCode::Cancelled, std::move(M)};
+  }
+  static Status deadlineExceeded(std::string M = "deadline exceeded") {
+    return {StatusCode::DeadlineExceeded, std::move(M)};
+  }
+  static Status resourceExhausted(std::string M = "resource exhausted") {
+    return {StatusCode::ResourceExhausted, std::move(M)};
+  }
+  static Status outOfMemory(std::string M = "allocation failed") {
+    return {StatusCode::OutOfMemory, std::move(M)};
+  }
+  static Status failedPrecondition(std::string M = "failed precondition") {
+    return {StatusCode::FailedPrecondition, std::move(M)};
+  }
+  static Status invalidArgument(std::string M = "invalid argument") {
+    return {StatusCode::InvalidArgument, std::move(M)};
+  }
+  static Status internal(std::string M = "internal error") {
+    return {StatusCode::Internal, std::move(M)};
+  }
+
+  bool isOk() const { return Code == StatusCode::Ok; }
+  explicit operator bool() const { return isOk(); }
+  StatusCode code() const { return Code; }
+  const std::string &message() const { return Msg; }
+
+  /// `code-name: message` (or just the code name).
+  std::string toString() const {
+    std::string Out = statusCodeName(Code);
+    if (!Msg.empty()) {
+      Out += ": ";
+      Out += Msg;
+    }
+    return Out;
+  }
+
+  friend bool operator==(const Status &A, StatusCode C) {
+    return A.Code == C;
+  }
+  friend bool operator==(StatusCode C, const Status &A) {
+    return A.Code == C;
+  }
+
+private:
+  StatusCode Code = StatusCode::Ok;
+  std::string Msg;
+};
+
+} // namespace stcfa
+
+#endif // STCFA_SUPPORT_STATUS_H

@@ -247,4 +247,101 @@ TEST(GraphStructure, PhaseAccountingIsDisjoint) {
   EXPECT_EQ(AfterClose.totalNodes(), G.numNodes());
 }
 
+//===----------------------------------------------------------------------===//
+// The close-phase governor: budgets, deadlines, and cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(CloseGovernor, CleanCloseReportsOk) {
+  auto M = parseMaybeInfer(makeJoinPointFamily(6));
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exact());
+  G.build();
+  Status S = G.close(Deadline::infinite());
+  EXPECT_TRUE(S.isOk());
+  EXPECT_TRUE(G.closeStatus().isOk());
+  EXPECT_TRUE(G.closed());
+  EXPECT_FALSE(G.aborted());
+}
+
+TEST(CloseGovernor, NodeBudgetAbortsWithResourceExhausted) {
+  auto M = parseMaybeInfer(makeCubicFamily(8));
+  ASSERT_TRUE(M);
+  SubtransitiveConfig C = exact();
+  C.MaxNodes = 32; // far below what the cubic family needs
+  SubtransitiveGraph G(*M, C);
+  G.build();
+  Status S = G.close(Deadline::infinite());
+  EXPECT_EQ(S, StatusCode::ResourceExhausted);
+  EXPECT_TRUE(G.aborted());
+  EXPECT_FALSE(G.closed());
+  EXPECT_EQ(G.closeStatus(), StatusCode::ResourceExhausted);
+}
+
+TEST(CloseGovernor, EdgeBudgetAbortsWithResourceExhausted) {
+  auto M = parseMaybeInfer(makeCubicFamily(8));
+  ASSERT_TRUE(M);
+  SubtransitiveConfig C = exact();
+  C.MaxEdges = 16;
+  SubtransitiveGraph G(*M, C);
+  G.build();
+  Status S = G.close(Deadline::infinite());
+  EXPECT_EQ(S, StatusCode::ResourceExhausted);
+  EXPECT_NE(S.message().find("edge"), std::string::npos);
+  EXPECT_TRUE(G.aborted());
+}
+
+TEST(CloseGovernor, ExpiredDeadlineAbortsWithDeadlineExceeded) {
+  auto M = parseMaybeInfer(makeCubicFamily(6));
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exact());
+  G.build();
+  Status S = G.close(Deadline::afterMillis(0));
+  EXPECT_EQ(S, StatusCode::DeadlineExceeded);
+  EXPECT_TRUE(G.aborted());
+  EXPECT_FALSE(G.closed());
+}
+
+TEST(CloseGovernor, PreCancelledTokenAbortsWithCancelled) {
+  auto M = parseMaybeInfer(makeCubicFamily(6));
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exact());
+  G.build();
+  CancellationToken Token = CancellationToken::create();
+  Token.requestCancel();
+  Status S = G.close(Deadline::infinite(), Token);
+  EXPECT_EQ(S, StatusCode::Cancelled);
+  EXPECT_TRUE(G.aborted());
+}
+
+TEST(CloseGovernor, UnarmedTokenAndInfiniteDeadlineAreFree) {
+  // The default-constructed token is unarmed and Deadline::infinite() never
+  // reads the clock; a fully governed call must still reach the fixpoint.
+  auto M = parseMaybeInfer(makeCubicFamily(6));
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exact());
+  G.build();
+  Status S = G.close(Deadline::infinite(), CancellationToken());
+  EXPECT_TRUE(S.isOk());
+  EXPECT_TRUE(G.closed());
+}
+
+#ifdef NDEBUG
+TEST(CloseGovernor, AbortedGraphAnswersEmptyThroughReachability) {
+  // Satellite 2 at the core layer: in release builds, querying an aborted
+  // graph is a reported error (empty answer + FailedPrecondition), not UB.
+  auto M = parseMaybeInfer(makeCubicFamily(8));
+  ASSERT_TRUE(M);
+  SubtransitiveConfig C = exact();
+  C.MaxNodes = 32;
+  SubtransitiveGraph G(*M, C);
+  G.build();
+  ASSERT_FALSE(G.close(Deadline::infinite()).isOk());
+  ASSERT_TRUE(G.aborted());
+  Reachability R(G);
+  for (uint32_t I = 0; I < M->numExprs(); ++I)
+    EXPECT_TRUE(R.labelsOf(ExprId(I)).empty());
+  EXPECT_EQ(R.status(), StatusCode::FailedPrecondition);
+}
+#endif
+
 } // namespace

@@ -32,6 +32,7 @@
 #include <atomic>
 #include <map>
 #include <set>
+#include <thread>
 
 using namespace stcfa;
 
@@ -450,6 +451,181 @@ TEST(QueryEngine, ManyQueriesStayConsistent) {
     ASSERT_TRUE(First == Engine.labelsOf(M->root()));
   uint64_t Visited = Engine.nodesVisited();
   EXPECT_GT(Visited, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Governed freeze: Status instead of asserts
+//===----------------------------------------------------------------------===//
+
+TEST(FrozenGraph, FreezeBeforeCloseIsReportedNotUB) {
+  std::unique_ptr<Module> M = parseMaybeInfer("let id = fn x => x in id id");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build(); // no close()
+  Status S;
+  std::unique_ptr<FrozenGraph> F = FrozenGraph::freeze(G, S);
+  EXPECT_EQ(F, nullptr);
+  EXPECT_EQ(S.code(), StatusCode::FailedPrecondition);
+}
+
+TEST(FrozenGraph, FreezeOfAbortedGraphIsReportedNotUB) {
+  std::unique_ptr<Module> M = parseMaybeInfer(makeCubicFamily(8));
+  ASSERT_TRUE(M);
+  SubtransitiveConfig C;
+  C.Congruence = CongruenceMode::None;
+  C.MaxNodes = 64; // guaranteed blown
+  SubtransitiveGraph G(*M, C);
+  G.build();
+  EXPECT_EQ(G.close(Deadline::infinite()).code(),
+            StatusCode::ResourceExhausted);
+  ASSERT_TRUE(G.aborted());
+
+  Status S;
+  std::unique_ptr<FrozenGraph> F = FrozenGraph::freeze(G, S);
+  EXPECT_EQ(F, nullptr);
+  EXPECT_EQ(S.code(), StatusCode::FailedPrecondition);
+  // The message carries the abort reason for the degradation report.
+  EXPECT_NE(S.message().find("resource-exhausted"), std::string::npos)
+      << S.toString();
+}
+
+TEST(FrozenGraph, FreezeUnderExpiredDeadlineIsInert) {
+  std::unique_ptr<Module> M = parseMaybeInfer(miniEvalProgram());
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  ASSERT_FALSE(G.aborted());
+  Status S;
+  std::unique_ptr<FrozenGraph> F =
+      FrozenGraph::freeze(G, S, Deadline::afterMillis(0));
+  EXPECT_EQ(F, nullptr);
+  EXPECT_EQ(S.code(), StatusCode::DeadlineExceeded);
+
+  // The governed constructor keeps the inert-but-well-defined snapshot.
+  FrozenGraph Inert(G, Deadline::afterMillis(0));
+  EXPECT_FALSE(Inert.status().isOk());
+  EXPECT_EQ(Inert.numNodes(), 0u);
+  QueryEngine E(Inert);
+  EXPECT_TRUE(E.labelsOf(M->root()).empty());
+  EXPECT_TRUE(E.labelsOfVar(VarId(0)).empty());
+  EXPECT_TRUE(E.occurrencesOf(LabelId(0)).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Worker-lane edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(QueryEngine, ZeroThreadsClampsToSequential) {
+  std::unique_ptr<Module> M = parseMaybeInfer(miniEvalProgram());
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  FrozenGraph F(G);
+  QueryEngine E(F, /*Threads=*/0);
+  EXPECT_EQ(E.threads(), 1u);
+  QueryEngine Baseline(F, 1);
+  EXPECT_EQ(E.labelsOf(M->root()), Baseline.labelsOf(M->root()));
+  std::vector<ExprId> Es{M->root()};
+  EXPECT_EQ(E.labelsOfBatch(Es), Baseline.labelsOfBatch(Es));
+}
+
+TEST(QueryEngine, MoreThreadsThanHardwareStillCorrect) {
+  std::unique_ptr<Module> M = parseMaybeInfer(miniEvalProgram());
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  FrozenGraph F(G);
+  unsigned Hw = std::thread::hardware_concurrency();
+  unsigned Oversubscribed = (Hw ? Hw : 4) * 4 + 3;
+  QueryEngine E(F, Oversubscribed);
+  EXPECT_EQ(E.threads(), Oversubscribed);
+  QueryEngine Baseline(F, 1);
+
+  std::vector<ExprId> Es;
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    Es.push_back(ExprId(I));
+  EXPECT_EQ(E.labelsOfBatch(Es), Baseline.labelsOfBatch(Es));
+
+  // Governed batches shard item-per-lane here (more lanes than items).
+  BatchControl Control;
+  BatchOutcome Outcome;
+  EXPECT_EQ(E.labelsOfBatch(Es, Control, Outcome), Baseline.labelsOfBatch(Es));
+  EXPECT_TRUE(Outcome.S.isOk());
+  EXPECT_EQ(Outcome.Completed, Es.size());
+}
+
+TEST(QueryEngine, EmptyBatchesAreNoOps) {
+  std::unique_ptr<Module> M = parseMaybeInfer("let id = fn x => x in id id");
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  FrozenGraph F(G);
+  for (unsigned Threads : {1u, 4u}) {
+    QueryEngine E(F, Threads);
+    EXPECT_TRUE(E.labelsOfBatch({}).empty());
+    EXPECT_TRUE(E.isLabelInBatch({}).empty());
+    EXPECT_TRUE(E.occurrencesOfBatch({}).empty());
+
+    BatchControl Control;
+    BatchOutcome Outcome;
+    EXPECT_TRUE(E.labelsOfBatch({}, Control, Outcome).empty());
+    EXPECT_TRUE(Outcome.S.isOk());
+    EXPECT_EQ(Outcome.Completed, 0u);
+    EXPECT_TRUE(Outcome.Done.empty());
+  }
+}
+
+TEST(QueryEngine, GovernedBatchWithRealDeadlineFinishesPromptly) {
+  // A generous real deadline on a small batch: everything completes.
+  std::unique_ptr<Module> M = parseMaybeInfer(miniEvalProgram());
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  FrozenGraph F(G);
+  QueryEngine E(F, 2);
+  std::vector<ExprId> Es;
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    Es.push_back(ExprId(I));
+  BatchControl Control;
+  Control.D = Deadline::afterMillis(60000);
+  BatchOutcome Outcome;
+  std::vector<DenseBitset> Sets = E.labelsOfBatch(Es, Control, Outcome);
+  EXPECT_TRUE(Outcome.S.isOk());
+  EXPECT_EQ(Outcome.Completed, Es.size());
+
+  // An already-expired deadline yields zero answers, not a hang or crash.
+  Control.D = Deadline::afterMillis(0);
+  Sets = E.labelsOfBatch(Es, Control, Outcome);
+  EXPECT_EQ(Outcome.S.code(), StatusCode::DeadlineExceeded);
+  EXPECT_EQ(Outcome.Completed, 0u);
+  for (const DenseBitset &S : Sets)
+    EXPECT_TRUE(S.empty());
+}
+
+TEST(QueryEngine, GovernedBatchCancellationToken) {
+  // A pre-cancelled token stops the batch before any item runs.
+  std::unique_ptr<Module> M = parseMaybeInfer(miniEvalProgram());
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M);
+  G.build();
+  G.close();
+  FrozenGraph F(G);
+  QueryEngine E(F, 2);
+  std::vector<ExprId> Es;
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    Es.push_back(ExprId(I));
+  BatchControl Control;
+  Control.Token = CancellationToken::create();
+  Control.Token.requestCancel();
+  BatchOutcome Outcome;
+  (void)E.labelsOfBatch(Es, Control, Outcome);
+  EXPECT_EQ(Outcome.S.code(), StatusCode::Cancelled);
+  EXPECT_EQ(Outcome.Completed, 0u);
 }
 
 } // namespace

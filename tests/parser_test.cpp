@@ -308,6 +308,83 @@ TEST(Parser, TrailingGarbageIsError) {
   EXPECT_TRUE(Diags.hasErrors());
 }
 
+//===----------------------------------------------------------------------===//
+// Recursion-depth guard: 100k-deep nesting of every self-recursive shape
+// must produce a diagnostic, never a stack overflow.
+//===----------------------------------------------------------------------===//
+
+/// Expects \p Source to be rejected with a "nesting too deep" diagnostic.
+void expectTooDeep(const std::string &Source) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(parseProgram(Source, Diags), nullptr);
+  ASSERT_TRUE(Diags.hasErrors());
+  bool Found = false;
+  for (const auto &D : Diags.diagnostics())
+    Found |= D.Message.find("nesting too deep") != std::string::npos;
+  EXPECT_TRUE(Found) << Diags.render();
+}
+
+TEST(Parser, DeepParenNestingIsDiagnosed) {
+  constexpr size_t Depth = 100000;
+  std::string Source(Depth, '(');
+  Source += "1";
+  Source += std::string(Depth, ')');
+  expectTooDeep(Source);
+}
+
+TEST(Parser, DeepPrefixChainIsDiagnosed) {
+  // `!!!...x` recurses parsePrefix -> parsePrefix, bypassing parseExpr.
+  std::string Source = "let r = ref 1 in ";
+  Source += std::string(100000, '!');
+  Source += "r";
+  expectTooDeep(Source);
+}
+
+TEST(Parser, DeepProjectionChainIsDiagnosed) {
+  // `#1 #1 ... x` recurses parseAtom -> parseAtom.
+  std::string Source = "let t = (1, 2) in ";
+  for (size_t I = 0; I != 100000; ++I)
+    Source += "#1 ";
+  Source += "t";
+  expectTooDeep(Source);
+}
+
+TEST(Parser, DeepLambdaNestingIsDiagnosed) {
+  std::string Source;
+  for (size_t I = 0; I != 100000; ++I)
+    Source += "fn x => ";
+  Source += "x";
+  expectTooDeep(Source);
+}
+
+TEST(Parser, DeepArrowTypeIsDiagnosed) {
+  // Right-recursive arrow chains in a constructor signature.
+  std::string Source = "data D = MkD(";
+  for (size_t I = 0; I != 100000; ++I)
+    Source += "Int -> ";
+  Source += "Int); 1";
+  expectTooDeep(Source);
+}
+
+TEST(Parser, DeepRefTypeIsDiagnosed) {
+  // `Ref Ref ... Int` recurses parseTypeAtom -> parseTypeAtom.
+  std::string Source = "data D = MkD(";
+  for (size_t I = 0; I != 100000; ++I)
+    Source += "Ref ";
+  Source += "Int); 1";
+  expectTooDeep(Source);
+}
+
+TEST(Parser, ReasonableNestingStillParses) {
+  // The guard must not reject plausibly deep real programs.
+  constexpr size_t Depth = 500;
+  std::string Source(Depth, '(');
+  Source += "1";
+  Source += std::string(Depth, ')');
+  auto M = parseOrDie(Source);
+  EXPECT_TRUE(M);
+}
+
 TEST(Parser, EachAbstractionGetsAUniqueLabel) {
   auto M = parseOrDie("(fn x => x) (fn y => y)");
   ASSERT_TRUE(M);

@@ -4,10 +4,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Deadline.h"
 #include "support/DenseBitset.h"
 #include "support/Diagnostics.h"
 #include "support/Hashing.h"
 #include "support/Ids.h"
+#include "support/Status.h"
 #include "support/StringInterner.h"
 #include "support/TablePrinter.h"
 
@@ -189,6 +191,82 @@ TEST(Hashing, AvalancheSmoke) {
   EXPECT_NE(hashU64(1), hashU64(2));
   EXPECT_NE(hashU64(1) >> 32, hashU64(2) >> 32);
   EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Status
+//===----------------------------------------------------------------------===//
+
+TEST(Status, DefaultAndFactoriesCarryTheirCode) {
+  EXPECT_TRUE(Status().isOk());
+  EXPECT_TRUE(Status::ok().isOk());
+  EXPECT_EQ(Status::cancelled("stop"), StatusCode::Cancelled);
+  EXPECT_EQ(Status::deadlineExceeded("late"), StatusCode::DeadlineExceeded);
+  EXPECT_EQ(Status::resourceExhausted("budget"),
+            StatusCode::ResourceExhausted);
+  EXPECT_EQ(Status::outOfMemory("alloc"), StatusCode::OutOfMemory);
+  EXPECT_EQ(Status::failedPrecondition("order"),
+            StatusCode::FailedPrecondition);
+  EXPECT_EQ(Status::invalidArgument("flag"), StatusCode::InvalidArgument);
+}
+
+TEST(Status, ToStringNamesTheCodeAndKeepsTheMessage) {
+  Status S = Status::deadlineExceeded("close ran out of time");
+  EXPECT_FALSE(S.isOk());
+  EXPECT_FALSE(static_cast<bool>(S));
+  EXPECT_EQ(S.message(), "close ran out of time");
+  EXPECT_NE(S.toString().find("deadline-exceeded"), std::string::npos);
+  EXPECT_NE(S.toString().find("close ran out of time"), std::string::npos);
+}
+
+TEST(Status, CodeNamesAreStableStrings) {
+  EXPECT_STREQ(statusCodeName(StatusCode::Ok), "ok");
+  EXPECT_STREQ(statusCodeName(StatusCode::ResourceExhausted),
+               "resource-exhausted");
+  EXPECT_STREQ(statusCodeName(StatusCode::FailedPrecondition),
+               "failed-precondition");
+}
+
+//===----------------------------------------------------------------------===//
+// Deadline and CancellationToken
+//===----------------------------------------------------------------------===//
+
+TEST(Deadline, InfiniteNeverExpires) {
+  Deadline D = Deadline::infinite();
+  EXPECT_TRUE(D.isInfinite());
+  EXPECT_FALSE(D.expired());
+  EXPECT_GT(D.remainingMillis(), 1000000);
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediately) {
+  Deadline D = Deadline::afterMillis(0);
+  EXPECT_FALSE(D.isInfinite());
+  EXPECT_TRUE(D.expired());
+  EXPECT_EQ(D.remainingMillis(), 0);
+}
+
+TEST(Deadline, GenerousBudgetIsNotYetExpired) {
+  Deadline D = Deadline::afterMillis(60000);
+  EXPECT_FALSE(D.expired());
+  EXPECT_GT(D.remainingMillis(), 0);
+}
+
+TEST(CancellationToken, DefaultIsUnarmedAndNeverCancelled) {
+  CancellationToken T;
+  EXPECT_FALSE(T.armed());
+  EXPECT_FALSE(T.cancelled());
+  T.requestCancel(); // no-op on an unarmed token
+  EXPECT_FALSE(T.cancelled());
+}
+
+TEST(CancellationToken, CancelPropagatesAcrossCopies) {
+  CancellationToken T = CancellationToken::create();
+  EXPECT_TRUE(T.armed());
+  CancellationToken Copy = T;
+  EXPECT_FALSE(Copy.cancelled());
+  T.requestCancel();
+  EXPECT_TRUE(T.cancelled());
+  EXPECT_TRUE(Copy.cancelled());
 }
 
 } // namespace
