@@ -17,19 +17,31 @@
 ///     wall-clock wins (this table reports honest numbers either way);
 ///     the CSR-vs-linked-list speedup in Table 1 is layout, not
 ///     parallelism.
+///   * Table 3 — the word-parallel `LabelSetKernel`: one level-scheduled
+///     closure over the condensation vs one BFS per query, at 1, 2, and
+///     4 lanes, plus the steady-state kernel-backed batch path.
 ///
-/// Emits `BENCH_parallel.json` with every cell.
+/// Emits `BENCH_parallel.json` (Tables 1–2) and `BENCH_kernel.json`
+/// (Table 3, with a `hardware_threads` field so scaling numbers can be
+/// judged against the machine that produced them).
+///
+/// `--kernel-smoke` runs a correctness-only check (kernel vs per-query
+/// BFS on cubic:100) and exits non-zero on any mismatch; CI wires it as
+/// a ctest target so the bench binary itself cannot rot.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
 #include "core/FrozenGraph.h"
+#include "core/LabelSetKernel.h"
 #include "core/QueryEngine.h"
 #include "gen/Corpus.h"
 #include "gen/Generators.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
+#include <string_view>
 #include <thread>
 
 using namespace stcfa;
@@ -173,6 +185,159 @@ void printPaperTables() {
   std::printf("%s\n", T2.render().c_str());
 }
 
+void printKernelTables() {
+  JsonReport Report("kernel");
+  const unsigned HwThreads = std::thread::hardware_concurrency();
+
+  std::printf("== label-set kernel: level-scheduled closure vs per-query "
+              "BFS ==\n");
+  TablePrinter T3({"program", "exprs", "bfs(ms)", "k1(ms)", "k2(ms)",
+                   "k4(ms)", "vs-bfs", "2x", "4x"});
+  for (const Workload &W : workloads()) {
+    auto M = mustParse(W.Source);
+    GraphRun G = runGraph(*M);
+    FrozenGraph F(*G.Graph);
+    // Warm the cached condensation so every timed cell below measures
+    // the closure, not the one-time Tarjan pass.
+    F.condensation();
+
+    constexpr int Reps = 9;
+    // Baseline: the CSR per-query BFS (kernel dispatch disabled).
+    QueryEngine Bfs(F, 1);
+    Bfs.setKernelThreshold(0);
+    double BfsMs = bestMillis(Reps, [&] {
+      benchmark::DoNotOptimize(Bfs.allLabelSets(/*UseScc=*/false).size());
+    });
+
+    double Ms[3];
+    unsigned LaneCounts[3] = {1, 2, 4};
+    for (int I = 0; I != 3; ++I) {
+      ThreadPool Pool(LaneCounts[I]);
+      Ms[I] = bestMillis(Reps, [&] {
+        // A fresh kernel per rep: the cell prices schedule build plus
+        // the full closure, the work a cold batched query pays once.
+        LabelSetKernel K(F, LaneCounts[I] > 1 ? &Pool : nullptr,
+                         LaneCounts[I]);
+        if (!K.run().isOk())
+          std::abort();
+        benchmark::DoNotOptimize(K.levelsCompleted());
+      });
+    }
+    double VsBfs = Ms[0] > 0 ? BfsMs / Ms[0] : 0;
+
+    T3.addRow({W.Name, std::to_string(M->numExprs()),
+               TablePrinter::num(BfsMs), TablePrinter::num(Ms[0]),
+               TablePrinter::num(Ms[1]), TablePrinter::num(Ms[2]),
+               TablePrinter::num(VsBfs, 2),
+               TablePrinter::num(Ms[1] > 0 ? Ms[0] / Ms[1] : 0, 2),
+               TablePrinter::num(Ms[2] > 0 ? Ms[0] / Ms[2] : 0, 2)});
+    Report.record("kernel_all_labels")
+        .add("program", std::string(W.Name))
+        .add("exprs", M->numExprs())
+        .add("hardware_threads", HwThreads)
+        .add("bfs_ms", BfsMs)
+        .add("kernel1_ms", Ms[0])
+        .add("kernel2_ms", Ms[1])
+        .add("kernel4_ms", Ms[2])
+        .add("speedup_vs_bfs", VsBfs)
+        .add("scaling2", Ms[1] > 0 ? Ms[0] / Ms[1] : 0)
+        .add("scaling4", Ms[2] > 0 ? Ms[0] / Ms[2] : 0);
+  }
+  std::printf("%s\n", T3.render().c_str());
+
+  std::printf("== batched labelsOf served by the kernel (steady state) "
+              "==\n");
+  TablePrinter T4({"program", "queries", "bfs-batch(ms)", "1 lane(ms)",
+                   "2 lanes(ms)", "4 lanes(ms)", "vs-bfs", "2x", "4x"});
+  for (const Workload &W : workloads()) {
+    auto M = mustParse(W.Source);
+    GraphRun G = runGraph(*M);
+    FrozenGraph F(*G.Graph);
+    F.condensation();
+
+    std::vector<ExprId> Queries;
+    for (uint32_t I = 0; I != M->numExprs(); ++I)
+      Queries.push_back(ExprId(I));
+
+    constexpr int Reps = 9;
+    QueryEngine BfsEngine(F, 1);
+    BfsEngine.setKernelThreshold(0);
+    double BfsMs = bestMillis(Reps, [&] {
+      benchmark::DoNotOptimize(BfsEngine.labelsOfBatch(Queries).size());
+    });
+
+    double Ms[3];
+    unsigned LaneCounts[3] = {1, 2, 4};
+    for (int I = 0; I != 3; ++I) {
+      QueryEngine Engine(F, LaneCounts[I]);
+      Engine.setKernelThreshold(1);
+      // First call pays the closure; the steady state below is what a
+      // query-serving process sees on every later batch.
+      benchmark::DoNotOptimize(Engine.labelsOfBatch(Queries).size());
+      Ms[I] = bestMillis(Reps, [&] {
+        benchmark::DoNotOptimize(Engine.labelsOfBatch(Queries).size());
+      });
+    }
+    double VsBfs = Ms[0] > 0 ? BfsMs / Ms[0] : 0;
+
+    T4.addRow({W.Name, std::to_string(Queries.size()),
+               TablePrinter::num(BfsMs), TablePrinter::num(Ms[0]),
+               TablePrinter::num(Ms[1]), TablePrinter::num(Ms[2]),
+               TablePrinter::num(VsBfs, 2),
+               TablePrinter::num(Ms[1] > 0 ? Ms[0] / Ms[1] : 0, 2),
+               TablePrinter::num(Ms[2] > 0 ? Ms[0] / Ms[2] : 0, 2)});
+    Report.record("kernel_batched")
+        .add("program", std::string(W.Name))
+        .add("queries", uint64_t(Queries.size()))
+        .add("hardware_threads", HwThreads)
+        .add("bfs_batch_ms", BfsMs)
+        .add("lanes1_ms", Ms[0])
+        .add("lanes2_ms", Ms[1])
+        .add("lanes4_ms", Ms[2])
+        .add("speedup_vs_bfs", VsBfs)
+        .add("scaling2", Ms[1] > 0 ? Ms[0] / Ms[1] : 0)
+        .add("scaling4", Ms[2] > 0 ? Ms[0] / Ms[2] : 0);
+  }
+  std::printf("%s\n", T4.render().c_str());
+}
+
+/// Correctness-only smoke for CI: the kernel and the kernel-backed batch
+/// path must agree with per-query BFS on cubic:100, bit for bit.
+int kernelSmoke() {
+  auto M = mustParse(makeCubicFamily(100));
+  GraphRun G = runGraph(*M);
+  Reachability R(*G.Graph);
+  FrozenGraph F(*G.Graph);
+
+  LabelSetKernel K(F, /*Threads=*/2);
+  if (!K.run().isOk()) {
+    std::fprintf(stderr, "kernel smoke: run() failed: %s\n",
+                 K.status().message().c_str());
+    return 1;
+  }
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    if (!(K.labelsOf(ExprId(I)) == R.labelsOf(ExprId(I)))) {
+      std::fprintf(stderr, "kernel smoke: mismatch at expr %u\n", I);
+      return 1;
+    }
+
+  QueryEngine Engine(F, 2);
+  Engine.setKernelThreshold(1);
+  std::vector<ExprId> Queries;
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    Queries.push_back(ExprId(I));
+  std::vector<DenseBitset> Batch = Engine.labelsOfBatch(Queries);
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    if (!(Batch[I] == R.labelsOf(ExprId(I)))) {
+      std::fprintf(stderr, "kernel smoke: batch mismatch at expr %u\n", I);
+      return 1;
+    }
+
+  std::printf("kernel smoke: %u label sets match per-query BFS\n",
+              M->numExprs());
+  return 0;
+}
+
 void BM_AllLabelSets_LinkedList(benchmark::State &State) {
   auto M = mustParse(makeCubicFamily(static_cast<int>(State.range(0))));
   GraphRun G = runGraph(*M);
@@ -215,6 +380,40 @@ BENCHMARK(BM_LabelsOfBatch)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+void BM_KernelAllLabels(benchmark::State &State) {
+  auto M = mustParse(makeCubicFamily(200));
+  GraphRun G = runGraph(*M);
+  FrozenGraph F(*G.Graph);
+  F.condensation();
+  unsigned Lanes = static_cast<unsigned>(State.range(0));
+  ThreadPool Pool(Lanes);
+  for (auto _ : State) {
+    LabelSetKernel K(F, Lanes > 1 ? &Pool : nullptr, Lanes);
+    if (!K.run().isOk())
+      std::abort();
+    benchmark::DoNotOptimize(K.levelsCompleted());
+  }
+}
+BENCHMARK(BM_KernelAllLabels)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
-STCFA_BENCH_MAIN(printPaperTables)
+// Custom main (instead of STCFA_BENCH_MAIN): `--kernel-smoke` must run
+// the correctness check *only* and return its verdict as the exit code,
+// so ctest can gate on it without paying for the timed tables.
+int main(int argc, char **argv) {
+  for (int I = 1; I != argc; ++I)
+    if (std::string_view(argv[I]) == "--kernel-smoke")
+      return kernelSmoke();
+  printPaperTables();
+  printKernelTables();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

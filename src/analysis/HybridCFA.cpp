@@ -134,6 +134,7 @@ Status HybridCFA::solve() {
     Report.Attempts.push_back({"freeze", FreezeStatus, FreezeTimer.millis()});
     if (FreezeStatus.isOk()) {
       Queries = std::make_unique<QueryEngine>(*Frozen, Opts.Threads);
+      Queries->setKernelThreshold(Opts.KernelThreshold);
       Used = Engine::Subtransitive;
       Report.Served = engineName(Used);
       return Report.Final = Status::ok();

@@ -63,6 +63,9 @@ struct HybridOptions {
   /// Cooperative cancellation; a cancelled run serves no answer.
   CancellationToken Token;
   DegradeMode Degrade = DegradeMode::Standard;
+  /// Batch size above which the query engine's batched entry points
+  /// dispatch to the word-parallel label-set kernel (0 disables it).
+  size_t KernelThreshold = QueryEngine::DefaultKernelThreshold;
 };
 
 /// Machine-readable record of the degradation ladder: one entry per rung

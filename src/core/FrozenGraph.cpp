@@ -149,9 +149,7 @@ Status FrozenGraph::init(const Deadline &D) {
   return Status::ok();
 }
 
-void FrozenGraph::buildCondensation() const {
-  Cond = std::make_unique<Condensation>(NumNodes, OutOffsets, OutTargets);
-
+void FrozenGraph::buildSccLabels() const {
   // One ascending-id sweep over the condensed DAG: SCC ids are in
   // completion order, so every successor component is finalized first.
   uint32_t NumSccs = Cond->numSccs();
@@ -172,11 +170,18 @@ void FrozenGraph::buildCondensation() const {
 }
 
 const Condensation &FrozenGraph::condensation() const {
-  std::call_once(CondOnce, [this] { buildCondensation(); });
+  // The Tarjan pass and the serial per-SCC label sets are cached under
+  // *separate* once-flags: the label-set kernel wants the condensation
+  // alone (it computes the label closure itself, in parallel), so it
+  // must not pay for — or race with — the serial `sccLabelSets` sweep.
+  std::call_once(CondOnce, [this] {
+    Cond = std::make_unique<Condensation>(NumNodes, OutOffsets, OutTargets);
+  });
   return *Cond;
 }
 
 const std::vector<DenseBitset> &FrozenGraph::sccLabelSets() const {
-  std::call_once(CondOnce, [this] { buildCondensation(); });
+  condensation();
+  std::call_once(SccLabelsOnce, [this] { buildSccLabels(); });
   return SccLabels;
 }

@@ -138,7 +138,7 @@ public:
 private:
   Status init(const Deadline &D);
   void resetToInert();
-  void buildCondensation() const;
+  void buildSccLabels() const;
 
   const SubtransitiveGraph &G;
   const Module &M;
@@ -153,7 +153,7 @@ private:
   std::vector<uint32_t> LabelRoots;
   double FreezeMs = 0;
 
-  mutable std::once_flag CondOnce;
+  mutable std::once_flag CondOnce, SccLabelsOnce;
   mutable std::unique_ptr<Condensation> Cond;
   mutable std::vector<DenseBitset> SccLabels;
 };

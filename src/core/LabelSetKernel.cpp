@@ -1,0 +1,207 @@
+//===-- core/LabelSetKernel.cpp - Word-parallel label-set closure ---------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LabelSetKernel.h"
+
+#include "support/FaultInjection.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace stcfa;
+
+LabelSetKernel::LabelSetKernel(const FrozenGraph &F, ThreadPool *Pool,
+                               unsigned Threads)
+    : F(F), M(F.module()), Pool(Pool), Threads(Threads ? Threads : 1),
+      RunStatus(Status::failedPrecondition("run() not called")) {}
+
+LabelSetKernel::LabelSetKernel(const FrozenGraph &F, unsigned Threads)
+    : F(F), M(F.module()), Pool(nullptr), Threads(Threads ? Threads : 1),
+      RunStatus(Status::failedPrecondition("run() not called")) {
+  if (this->Threads > 1) {
+    OwnedPool = std::make_unique<ThreadPool>(this->Threads);
+    Pool = OwnedPool.get();
+  }
+}
+
+/// Builds the level schedule and the row matrix.  One ascending-id sweep
+/// suffices for levels: SCC ids are in completion order, so every
+/// successor component's level is final before its consumers look at it.
+Status LabelSetKernel::buildSchedule() {
+  // The schedule + matrix allocation is the kernel's one big allocation;
+  // the injected-alloc site sits on the same unwind the real bad_alloc
+  // guard would take.
+  if (faultFires(fault::KernelAlloc))
+    return Status::outOfMemory("kernel level-schedule allocation failed");
+
+  Cond = &F.condensation();
+  const uint32_t NumNodes = F.numNodes();
+  const uint32_t NumSccs = Cond->numSccs();
+
+  // Nodes grouped by component: counting sort into CSR.
+  SccNodeOffsets.assign(NumSccs + 1, 0);
+  for (uint32_t N = 0; N != NumNodes; ++N)
+    ++SccNodeOffsets[Cond->sccOf(N) + 1];
+  for (uint32_t S = 0; S != NumSccs; ++S)
+    SccNodeOffsets[S + 1] += SccNodeOffsets[S];
+  SccNodes.resize(NumNodes);
+  {
+    std::vector<uint32_t> Fill(SccNodeOffsets.begin(),
+                               SccNodeOffsets.end() - 1);
+    for (uint32_t N = 0; N != NumNodes; ++N)
+      SccNodes[Fill[Cond->sccOf(N)]++] = N;
+  }
+
+  // Level of a component = 1 + max level of its successor components
+  // (sinks at level 0).  Cross-component edges always point to strictly
+  // smaller levels, which is the no-races-within-a-level invariant the
+  // parallel sweep relies on.
+  const uint32_t *Off = F.outOffsets();
+  const uint32_t *Tgt = F.outTargets();
+  SccLevel.assign(NumSccs, 0);
+  NumLevels = 0;
+  for (uint32_t Scc = 0; Scc != NumSccs; ++Scc) {
+    uint32_t Lv = 0;
+    for (uint32_t I = SccNodeOffsets[Scc], E = SccNodeOffsets[Scc + 1]; I != E;
+         ++I) {
+      uint32_t N = SccNodes[I];
+      for (uint32_t J = Off[N], JE = Off[N + 1]; J != JE; ++J) {
+        uint32_t S = Cond->sccOf(Tgt[J]);
+        if (S != Scc)
+          Lv = std::max(Lv, SccLevel[S] + 1);
+      }
+    }
+    SccLevel[Scc] = Lv;
+    NumLevels = std::max(NumLevels, Lv + 1);
+  }
+
+  // Components bucketed by level: counting sort into CSR.
+  LevelOffsets.assign(NumLevels + 1, 0);
+  for (uint32_t Scc = 0; Scc != NumSccs; ++Scc)
+    ++LevelOffsets[SccLevel[Scc] + 1];
+  for (uint32_t Lv = 0; Lv != NumLevels; ++Lv)
+    LevelOffsets[Lv + 1] += LevelOffsets[Lv];
+  LevelComps.resize(NumSccs);
+  {
+    std::vector<uint32_t> Fill(LevelOffsets.begin(), LevelOffsets.end() - 1);
+    for (uint32_t Scc = 0; Scc != NumSccs; ++Scc)
+      LevelComps[Fill[SccLevel[Scc]]++] = Scc;
+  }
+
+  // The matrix: rows padded to whole cache lines (multiples of 8 words)
+  // and the base 64-byte aligned into an over-allocated store, so two
+  // lanes finalizing different components never touch the same line.
+  WordsPerSet = (M.numLabels() + 63) / 64;
+  RowWords = (WordsPerSet + 7) & ~7u;
+  size_t Need = size_t(NumSccs) * RowWords;
+  MatrixStore.assign(Need + 7, 0);
+  Matrix = reinterpret_cast<uint64_t *>(
+      (reinterpret_cast<uintptr_t>(MatrixStore.data()) + 63) &
+      ~uintptr_t(63));
+
+  LevelsBuilt = true;
+  return Status::ok();
+}
+
+/// Finalizes one component's row: set the bits of labels carried by its
+/// own nodes, then OR in every successor component's (already final) row.
+void LabelSetKernel::closeComponent(uint32_t Scc) {
+  uint64_t *R = rowMut(Scc);
+  const uint32_t *Off = F.outOffsets();
+  const uint32_t *Tgt = F.outTargets();
+  const uint32_t *Lab = F.labelArray();
+  const uint32_t W = WordsPerSet;
+  for (uint32_t I = SccNodeOffsets[Scc], E = SccNodeOffsets[Scc + 1]; I != E;
+       ++I) {
+    uint32_t N = SccNodes[I];
+    if (uint32_t L = Lab[N]; L != FrozenGraph::None)
+      R[L / 64] |= uint64_t(1) << (L % 64);
+    for (uint32_t J = Off[N], JE = Off[N + 1]; J != JE; ++J) {
+      uint32_t S = Cond->sccOf(Tgt[J]);
+      if (S == Scc)
+        continue;
+      const uint64_t *SR = row(S);
+      for (uint32_t K = 0; K != W; ++K)
+        R[K] |= SR[K];
+    }
+  }
+}
+
+Status LabelSetKernel::run(const Controls &C) {
+  if (complete())
+    return RunStatus;
+  Timer T;
+  if (!LevelsBuilt) {
+    Status S = buildSchedule();
+    if (!S.isOk()) {
+      Ran = true;
+      RunStatus = S;
+      ClosureMs += T.millis();
+      return RunStatus;
+    }
+  }
+
+  // One governor checkpoint per level; the word loops stay check-free.
+  // `LevelsDone` only advances past a level's barrier, so an abort here
+  // leaves every component below it final — that is the whole partial-
+  // result contract.
+  while (LevelsDone != NumLevels) {
+    uint32_t Lv = LevelsDone;
+    if (C.Token.cancelled() || faultFires(fault::KernelLevelCancel)) {
+      Ran = true;
+      RunStatus = Status::cancelled("label-set kernel cancelled at level " +
+                                    std::to_string(Lv) + " of " +
+                                    std::to_string(NumLevels));
+      ClosureMs += T.millis();
+      return RunStatus;
+    }
+    if (C.D.expired()) {
+      Ran = true;
+      RunStatus =
+          Status::deadlineExceeded("label-set kernel exceeded its deadline "
+                                   "at level " +
+                                   std::to_string(Lv) + " of " +
+                                   std::to_string(NumLevels));
+      ClosureMs += T.millis();
+      return RunStatus;
+    }
+
+    size_t Begin = LevelOffsets[Lv], End = LevelOffsets[Lv + 1];
+    if (Pool && Threads > 1 && End - Begin > 1) {
+      // `parallelFor` is the per-level barrier: it returns only after
+      // every component in the level is final, and its internal
+      // synchronisation orders those writes before the next level's
+      // reads (TSan-clean cross-level row reuse).
+      Pool->parallelFor(End - Begin, [&](unsigned, size_t I) {
+        closeComponent(LevelComps[Begin + I]);
+      });
+    } else {
+      for (size_t I = Begin; I != End; ++I)
+        closeComponent(LevelComps[I]);
+    }
+    ++LevelsDone;
+  }
+
+  Ran = true;
+  RunStatus = Status::ok();
+  ClosureMs += T.millis();
+  return RunStatus;
+}
+
+DenseBitset LabelSetKernel::labelsOfNode(uint32_t N) const {
+  DenseBitset Out(M.numLabels());
+  if (nodeComplete(N))
+    Out.orWords(row(Cond->sccOf(N)), WordsPerSet);
+  return Out;
+}
+
+DenseBitset LabelSetKernel::labelsOf(ExprId E) const {
+  uint32_t N = F.nodeOfExpr(E);
+  if (N == FrozenGraph::None)
+    return DenseBitset(M.numLabels());
+  return labelsOfNode(N);
+}

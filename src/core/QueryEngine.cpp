@@ -6,6 +6,7 @@
 
 #include "core/QueryEngine.h"
 
+#include "core/LabelSetKernel.h"
 #include "support/FaultInjection.h"
 
 #include <algorithm>
@@ -20,6 +21,32 @@ QueryEngine::QueryEngine(const FrozenGraph &F, unsigned Threads)
     S.Stamp.assign(F.numNodes(), 0);
   if (NumThreads > 1)
     Pool = std::make_unique<ThreadPool>(NumThreads);
+}
+
+QueryEngine::~QueryEngine() = default;
+
+LabelSetKernel &QueryEngine::kernelRef() {
+  if (!Kern)
+    Kern = std::make_unique<LabelSetKernel>(F, Pool.get(), NumThreads);
+  return *Kern;
+}
+
+/// Forward/reverse duality: an occurrence `E` is in `occurrencesOf(L)`
+/// (reverse reachability from `L`'s roots) iff `L` is in `labelsOf(E)`
+/// (forward closure).  The nodes carrying label `L` are exactly `L`'s
+/// two reverse roots — congruence summaries only merge datatype-typed
+/// nodes, never a lambda's occurrence node or a label carrier — so the
+/// kernel's forward rows answer the reverse query with one bit test per
+/// occurrence.  (The equivalence suite pins this against the reverse
+/// BFS over the whole corpus.)
+void QueryEngine::occurrencesFromKernel(const LabelSetKernel &K, LabelId L,
+                                        std::vector<ExprId> &Out) {
+  const uint32_t Label = L.index();
+  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+    uint32_t N = F.nodeOfExpr(ExprId(I));
+    if (N != FrozenGraph::None && K.hasLabel(N, Label))
+      Out.push_back(ExprId(I));
+  }
 }
 
 void QueryEngine::bumpEpoch(Scratch &S) {
@@ -190,6 +217,25 @@ inline Shard shardOf(size_t N, size_t NumShards, size_t Index) {
 
 std::vector<DenseBitset>
 QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es) {
+  // Above the threshold, one kernel closure is amortised across the
+  // whole batch and each answer is a row copy.  A kernel abort (only
+  // possible through injected faults on this ungoverned path) falls
+  // through to the per-query BFS below.
+  if (kernelEligible(Es.size()) && kernelRef().run().isOk()) {
+    const LabelSetKernel &K = *Kern;
+    std::vector<DenseBitset> Out(Es.size());
+    auto CopyShard = [&](unsigned, size_t Index) {
+      Shard Sh = shardOf(Es.size(), NumThreads, Index);
+      for (size_t I = Sh.Begin; I != Sh.End; ++I)
+        Out[I] = K.labelsOf(Es[I]);
+    };
+    if (Pool)
+      Pool->parallelFor(NumThreads, CopyShard);
+    else
+      CopyShard(0, 0);
+    return Out;
+  }
+
   std::vector<DenseBitset> Out(Es.size());
   auto RunShard = [&](unsigned Lane, size_t Index) {
     Scratch &S = Lanes[Lane];
@@ -210,13 +256,20 @@ QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es) {
 std::vector<char>
 QueryEngine::isLabelInBatch(const std::vector<std::pair<ExprId, LabelId>> &Qs) {
   std::vector<char> Out(Qs.size(), 0);
+  // Membership batches never *build* the closure (a single bit each is
+  // too cheap to justify it), but once an earlier batch completed the
+  // kernel, every membership test is one O(1) bit probe.
+  const LabelSetKernel *K =
+      (KernelThreshold != 0 && Kern && Kern->complete()) ? Kern.get()
+                                                         : nullptr;
   auto RunShard = [&](unsigned Lane, size_t Index) {
     Scratch &S = Lanes[Lane];
     Shard Sh = shardOf(Qs.size(), NumThreads, Index);
     for (size_t I = Sh.Begin; I != Sh.End; ++I) {
       uint32_t Start = F.nodeOfExpr(Qs[I].first);
       Out[I] = Start != FrozenGraph::None &&
-               labelReachableFrom(S, Start, Qs[I].second.index());
+               (K ? K->hasLabel(Start, Qs[I].second.index())
+                  : labelReachableFrom(S, Start, Qs[I].second.index()));
     }
   };
   if (Pool)
@@ -229,6 +282,23 @@ QueryEngine::isLabelInBatch(const std::vector<std::pair<ExprId, LabelId>> &Qs) {
 std::vector<std::vector<ExprId>>
 QueryEngine::occurrencesOfBatch(const std::vector<LabelId> &Ls) {
   std::vector<std::vector<ExprId>> Out(Ls.size());
+  // Kernel path (find_callers batches): one forward closure, then one
+  // bit probe per (label, occurrence) pair via the forward/reverse
+  // duality — instead of one reverse BFS per label.
+  if (kernelEligible(Ls.size()) && kernelRef().run().isOk()) {
+    const LabelSetKernel &K = *Kern;
+    auto ProbeShard = [&](unsigned, size_t Index) {
+      Shard Sh = shardOf(Ls.size(), NumThreads, Index);
+      for (size_t I = Sh.Begin; I != Sh.End; ++I)
+        occurrencesFromKernel(K, Ls[I], Out[I]);
+    };
+    if (Pool)
+      Pool->parallelFor(NumThreads, ProbeShard);
+    else
+      ProbeShard(0, 0);
+    return Out;
+  }
+
   auto RunShard = [&](unsigned Lane, size_t Index) {
     Scratch &S = Lanes[Lane];
     Shard Sh = shardOf(Ls.size(), NumThreads, Index);
@@ -338,6 +408,21 @@ std::vector<DenseBitset>
 QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es,
                            const BatchControl &C, BatchOutcome &Outcome) {
   std::vector<DenseBitset> Out(Es.size(), DenseBitset(M.numLabels()));
+  // Kernel path: run the closure under the batch's own controls, then
+  // materialise answers through `runGoverned`, so per-item governor
+  // semantics (poll-between-items, prefix Done flags, the query.batch-*
+  // fault sites) are identical to the BFS path.  If the kernel aborts —
+  // real deadline/cancel or an injected kernel fault — fall through to
+  // the governed per-query BFS: a real trigger re-fires on its first
+  // poll there (canonical partial result), an injected kernel fault
+  // degrades to the slow path and the batch still completes.
+  if (kernelEligible(Es.size()) &&
+      kernelRef().run({C.D, C.Token}).isOk()) {
+    const LabelSetKernel &K = *Kern;
+    runGoverned(Es.size(), C, Outcome,
+                [&](Scratch &, size_t I) { Out[I] = K.labelsOf(Es[I]); });
+    return Out;
+  }
   runGoverned(Es.size(), C, Outcome, [&](Scratch &S, size_t I) {
     uint32_t Start = F.nodeOfExpr(Es[I]);
     if (Start != FrozenGraph::None)
@@ -350,10 +435,16 @@ std::vector<char>
 QueryEngine::isLabelInBatch(const std::vector<std::pair<ExprId, LabelId>> &Qs,
                             const BatchControl &C, BatchOutcome &Outcome) {
   std::vector<char> Out(Qs.size(), 0);
+  // Same policy as the ungoverned overload: probe the kernel only if an
+  // earlier batch already completed it.
+  const LabelSetKernel *K =
+      (KernelThreshold != 0 && Kern && Kern->complete()) ? Kern.get()
+                                                         : nullptr;
   runGoverned(Qs.size(), C, Outcome, [&](Scratch &S, size_t I) {
     uint32_t Start = F.nodeOfExpr(Qs[I].first);
     Out[I] = Start != FrozenGraph::None &&
-             labelReachableFrom(S, Start, Qs[I].second.index());
+             (K ? K->hasLabel(Start, Qs[I].second.index())
+                : labelReachableFrom(S, Start, Qs[I].second.index()));
   });
   return Out;
 }
@@ -362,6 +453,16 @@ std::vector<std::vector<ExprId>>
 QueryEngine::occurrencesOfBatch(const std::vector<LabelId> &Ls,
                                 const BatchControl &C, BatchOutcome &Outcome) {
   std::vector<std::vector<ExprId>> Out(Ls.size());
+  // Mirrors governed labelsOfBatch: kernel closure under the batch
+  // controls, canonical per-item materialisation, BFS fallback on abort.
+  if (kernelEligible(Ls.size()) &&
+      kernelRef().run({C.D, C.Token}).isOk()) {
+    const LabelSetKernel &K = *Kern;
+    runGoverned(Ls.size(), C, Outcome, [&](Scratch &, size_t I) {
+      occurrencesFromKernel(K, Ls[I], Out[I]);
+    });
+    return Out;
+  }
   runGoverned(Ls.size(), C, Outcome, [&](Scratch &S, size_t I) {
     markOccurrences(S, Ls[I], Out[I]);
   });

@@ -55,15 +55,38 @@ struct BatchOutcome {
   std::vector<char> Done;
 };
 
+class LabelSetKernel;
+
 /// Parallel batched reachability queries over a frozen graph.
 class QueryEngine {
 public:
   /// \p Threads is the worker-lane count (1 = fully sequential, no
   /// threads spawned).
   explicit QueryEngine(const FrozenGraph &F, unsigned Threads = 1);
+  ~QueryEngine();
 
   const FrozenGraph &frozen() const { return F; }
   unsigned threads() const { return NumThreads; }
+
+  //===--- kernel dispatch -------------------------------------------------//
+  //
+  // Batches of at least `kernelThreshold()` items dispatch to the
+  // word-parallel `LabelSetKernel`: one level-scheduled closure over the
+  // condensation DAG is amortised across the whole batch instead of B
+  // independent BFS walks.  The kernel is built lazily on first eligible
+  // batch (sharing this engine's thread pool) and cached; point queries
+  // never touch it.  An aborted kernel run (injected fault, deadline)
+  // falls back to the BFS path transparently.
+
+  /// Default batch size above which batches use the kernel.
+  static constexpr size_t DefaultKernelThreshold = 16;
+
+  /// Current dispatch threshold; 0 disables the kernel entirely.
+  size_t kernelThreshold() const { return KernelThreshold; }
+  void setKernelThreshold(size_t T) { KernelThreshold = T; }
+
+  /// The cached kernel, or null if no eligible batch has run yet.
+  const LabelSetKernel *kernel() const { return Kern.get(); }
 
   //===--- point queries (calling thread, lane 0) -------------------------//
 
@@ -132,7 +155,15 @@ public:
 private:
   /// Per-lane DFS state: epoch-stamped visit marks (O(1) reset between
   /// queries, zeroed on epoch wrap) and an explicit stack.
-  struct Scratch {
+  ///
+  /// Layout invariant: `Lanes` is a contiguous array with one Scratch
+  /// per worker lane, and every lane hammers its own `Epoch`/`Visited`
+  /// and vector headers on each DFS step.  `alignas(64)` rounds
+  /// `sizeof(Scratch)` up to whole cache lines, so `Lanes[K]` and
+  /// `Lanes[K + 1]` can never share a 64-byte line — without it, lane
+  /// K's `Visited` stores would false-share with lane K+1's `Stamp`
+  /// header loads and serialise the supposedly independent lanes.
+  struct alignas(64) Scratch {
     std::vector<uint32_t> Stamp;
     uint32_t Epoch = 0;
     std::vector<uint32_t> Stack;
@@ -140,6 +171,15 @@ private:
   };
 
   void bumpEpoch(Scratch &S);
+  /// True when a batch of \p BatchSize should dispatch to the kernel.
+  bool kernelEligible(size_t BatchSize) const {
+    return KernelThreshold != 0 && BatchSize >= KernelThreshold &&
+           F.numNodes() != 0;
+  }
+  /// The lazily-built kernel (shares this engine's pool).
+  LabelSetKernel &kernelRef();
+  void occurrencesFromKernel(const LabelSetKernel &K, LabelId L,
+                             std::vector<ExprId> &Out);
   /// Shards \p N items across the lanes, invoking `Item(Scratch&, I)`
   /// per item with a governor poll before each one.
   template <typename ItemFn>
@@ -156,6 +196,8 @@ private:
   unsigned NumThreads;
   std::unique_ptr<ThreadPool> Pool; // null when NumThreads == 1
   std::vector<Scratch> Lanes;       // one per worker lane
+  size_t KernelThreshold = DefaultKernelThreshold;
+  std::unique_ptr<LabelSetKernel> Kern; // built on first eligible batch
 };
 
 } // namespace stcfa

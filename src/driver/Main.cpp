@@ -54,6 +54,9 @@ struct Options {
   std::string Congruence = "bytype";
   std::string Policy = "paper";
   unsigned Threads = 1;
+  /// Batch size above which batched queries dispatch to the label-set
+  /// kernel; -1 = flag not given (engine default), 0 = kernel disabled.
+  int64_t KernelThreshold = -1;
   /// Wall-clock budget for the whole analysis+query pipeline; -1 = none.
   int64_t TimeoutMs = -1;
   /// Node budget for the subtransitive close phase; 0 = unlimited.
@@ -89,6 +92,9 @@ int usage(const char *Argv0) {
       "  --policy=<p>           paper (default) | nodeexists | undemanded\n"
       "  --frozen               serve queries from a frozen CSR snapshot\n"
       "  --threads=<n>          query-engine worker lanes (implies --frozen)\n"
+      "  --kernel-threshold=<n> batch size above which batched queries use\n"
+      "                         the word-parallel label-set kernel\n"
+      "                         (0 disables the kernel; default 16)\n"
       "  --timeout-ms=<n>       wall-clock deadline over analysis + queries\n"
       "  --close-budget=<n>     node budget for the subtransitive close\n"
       "                         (subtransitive/poly analyses only)\n"
@@ -250,6 +256,15 @@ int main(int Argc, char **Argv) {
       if (Opts.Threads == 0)
         Opts.Threads = 1;
       Opts.Frozen = true;
+    } else if (startsWith(A, "--kernel-threshold=")) {
+      std::string N = A.substr(19);
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --kernel-threshold expects a number, got '%s'\n",
+                     N.c_str());
+        return 2;
+      }
+      Opts.KernelThreshold = std::stoll(N);
     } else if (startsWith(A, "--timeout-ms=")) {
       std::string N = A.substr(13);
       if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
@@ -419,6 +434,8 @@ int main(int Argc, char **Argv) {
     HO.Degrade = Opts.Degrade == "off"       ? DegradeMode::Off
                  : Opts.Degrade == "partial" ? DegradeMode::Partial
                                              : DegradeMode::Standard;
+    if (Opts.KernelThreshold >= 0)
+      HO.KernelThreshold = static_cast<size_t>(Opts.KernelThreshold);
     R.Hybrid = std::make_unique<HybridCFA>(*M, HO);
     Status S = R.Hybrid->solve();
     if (Opts.Stats) {
@@ -460,6 +477,9 @@ int main(int Argc, char **Argv) {
     if (G->closed() && !G->aborted()) {
       R.Snapshot = std::make_unique<FrozenGraph>(*G);
       R.Engine = std::make_unique<QueryEngine>(*R.Snapshot, Opts.Threads);
+      if (Opts.KernelThreshold >= 0)
+        R.Engine->setKernelThreshold(
+            static_cast<size_t>(Opts.KernelThreshold));
     } else {
       std::fprintf(stderr, "note: --frozen ignored (graph not closed or "
                            "aborted)\n");
@@ -537,6 +557,21 @@ int main(int Argc, char **Argv) {
                      Outcome.S.toString().c_str(),
                      (unsigned long long)Outcome.Completed, M->numExprs());
         ExitCode = 3;
+      }
+    } else if (E) {
+      // Ungoverned but engine-served: one batched call, so the full
+      // all-labels sweep rides the label-set kernel above the dispatch
+      // threshold instead of one BFS per occurrence.
+      std::vector<ExprId> Es;
+      Es.reserve(M->numExprs());
+      for (uint32_t I = 0; I != M->numExprs(); ++I)
+        Es.push_back(ExprId(I));
+      std::vector<DenseBitset> Sets = E->labelsOfBatch(Es);
+      for (uint32_t I = 0; I != M->numExprs(); ++I) {
+        if (Sets[I].empty())
+          continue;
+        std::printf("%-18s %s\n", describeExpr(*M, ExprId(I)).c_str(),
+                    renderSet(*M, Sets[I]).c_str());
       }
     } else {
       for (uint32_t I = 0; I != M->numExprs(); ++I) {

@@ -51,6 +51,34 @@ public:
     return (Words[I / 64] >> (I % 64)) & 1;
   }
 
+  /// Bulk-unions \p Other into this set (straight word-wise OR, no
+  /// change count — the label-set kernel's materialisation path).
+  void orWords(const DenseBitset &Other) {
+    assert(Universe == Other.Universe && "universe mismatch");
+    orWords(Other.Words.data(), Other.Words.size());
+  }
+
+  /// Bulk-unions \p N raw 64-bit words into this set.  Source bits at or
+  /// beyond the universe are masked off, so OR-ing from a buffer padded
+  /// past the universe (the kernel's cache-line-padded rows) can never
+  /// plant ghost bits in the tail word.
+  void orWords(const uint64_t *Src, size_t N) {
+    for (size_t W = 0, E = N < Words.size() ? N : Words.size(); W != E; ++W)
+      Words[W] |= Src[W];
+    if (uint32_t Rem = Universe % 64; Rem != 0 && !Words.empty())
+      Words.back() &= (uint64_t(1) << Rem) - 1;
+    Count = popcount();
+  }
+
+  /// Population count recomputed from the words (always equal to
+  /// `count()`, which is maintained incrementally).
+  uint32_t popcount() const {
+    uint32_t C = 0;
+    for (uint64_t W : Words)
+      C += static_cast<uint32_t>(std::popcount(W));
+    return C;
+  }
+
   /// Unions \p Other into this set; returns the number of new elements.
   uint32_t unionWith(const DenseBitset &Other) {
     assert(Universe == Other.Universe && "universe mismatch");

@@ -34,6 +34,10 @@ constexpr FaultSite Sites[] = {
      "a batched query observes its deadline expired between items"},
     {fault::QueryBatchCancel, FaultKind::Cancel,
      "a batched query observes a cancellation request between items"},
+    {fault::KernelAlloc, FaultKind::Alloc,
+     "the label-set kernel reports a level-schedule allocation failure"},
+    {fault::KernelLevelCancel, FaultKind::Cancel,
+     "the label-set kernel observes a cancellation request between levels"},
     {fault::HybridSubtransitiveBudget, FaultKind::Budget,
      "the hybrid's subtransitive rung reports budget exhaustion"},
     {fault::HybridFreezeAlloc, FaultKind::Alloc,

@@ -77,6 +77,8 @@ inline constexpr std::string_view FreezeDeadline = "freeze.deadline";
 inline constexpr std::string_view FreezeAlloc = "freeze.alloc";
 inline constexpr std::string_view QueryBatchDeadline = "query.batch-deadline";
 inline constexpr std::string_view QueryBatchCancel = "query.batch-cancel";
+inline constexpr std::string_view KernelAlloc = "kernel.alloc";
+inline constexpr std::string_view KernelLevelCancel = "kernel.level-cancel";
 inline constexpr std::string_view HybridSubtransitiveBudget =
     "hybrid.subtransitive-budget";
 inline constexpr std::string_view HybridFreezeAlloc = "hybrid.freeze-alloc";

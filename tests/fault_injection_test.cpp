@@ -15,6 +15,7 @@
 #include "analysis/HybridCFA.h"
 #include "analysis/StandardCFA.h"
 #include "core/FrozenGraph.h"
+#include "core/LabelSetKernel.h"
 #include "core/QueryEngine.h"
 #include "core/Reachability.h"
 #include "core/SubtransitiveGraph.h"
@@ -316,6 +317,59 @@ TEST(FaultInjection, GovernedBatchCompletesWhenNothingFires) {
   EXPECT_TRUE(Outcome.S.isOk());
   EXPECT_EQ(Outcome.Completed, Ls.size());
   EXPECT_EQ(Governed, E.occurrencesOfBatch(Ls));
+}
+
+//===----------------------------------------------------------------------===//
+// Label-set kernel sites
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, KernelAllocFaultReportsOutOfMemory) {
+  std::unique_ptr<Module> M = parseMaybeInfer(Program);
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exactConfig());
+  G.build();
+  ASSERT_TRUE(G.close(Deadline::infinite()).isOk());
+  Status S;
+  std::unique_ptr<FrozenGraph> F = FrozenGraph::freeze(G, S);
+  ASSERT_TRUE(S.isOk());
+
+  ArmedSite Armed(fault::KernelAlloc);
+  LabelSetKernel K(*F);
+  EXPECT_EQ(K.run().code(), StatusCode::OutOfMemory);
+  EXPECT_FALSE(K.complete());
+  EXPECT_EQ(K.levelsCompleted(), 0u);
+  // Every answer is the well-defined empty set, never garbage.
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    EXPECT_TRUE(K.labelsOf(ExprId(I)).empty()) << "expr " << I;
+}
+
+TEST(FaultInjection, KernelLevelCancelFaultReportsCancelled) {
+  std::unique_ptr<Module> M = parseMaybeInfer(Program);
+  ASSERT_TRUE(M);
+  SubtransitiveGraph G(*M, exactConfig());
+  G.build();
+  ASSERT_TRUE(G.close(Deadline::infinite()).isOk());
+  Status S;
+  std::unique_ptr<FrozenGraph> F = FrozenGraph::freeze(G, S);
+  ASSERT_TRUE(S.isOk());
+
+  // Let one level complete, then fire: the abort must report exactly one
+  // finished level and serve only the level-0 components' sets.
+  ArmedSite Armed(fault::KernelLevelCancel, /*SkipHits=*/1);
+  LabelSetKernel K(*F, /*Threads=*/2);
+  EXPECT_EQ(K.run().code(), StatusCode::Cancelled);
+  EXPECT_FALSE(K.complete());
+  EXPECT_EQ(K.levelsCompleted(), 1u);
+  disarmFaults();
+
+  // Resume under the same governed contract: now it completes and the
+  // answers match a from-scratch closure.
+  ASSERT_TRUE(K.run().isOk());
+  LabelSetKernel Fresh(*F);
+  ASSERT_TRUE(Fresh.run().isOk());
+  for (uint32_t I = 0; I != M->numExprs(); ++I)
+    EXPECT_TRUE(K.labelsOf(ExprId(I)) == Fresh.labelsOf(ExprId(I)))
+        << "expr " << I;
 }
 
 //===----------------------------------------------------------------------===//

@@ -102,6 +102,61 @@ TEST(DenseBitset, ForEachIsOrdered) {
   EXPECT_EQ(Seen, (std::vector<uint32_t>{0, 7, 63, 64, 250}));
 }
 
+TEST(DenseBitset, OrWordsBulkUnion) {
+  DenseBitset A(130), B(130);
+  A.insert(1);
+  A.insert(64);
+  B.insert(64);
+  B.insert(65);
+  B.insert(129);
+  A.orWords(B);
+  EXPECT_EQ(A.count(), 4u);
+  EXPECT_TRUE(A.contains(1));
+  EXPECT_TRUE(A.contains(64));
+  EXPECT_TRUE(A.contains(65));
+  EXPECT_TRUE(A.contains(129));
+  EXPECT_EQ(A.count(), A.popcount());
+}
+
+TEST(DenseBitset, OrWordsMasksTailWord) {
+  // Universe 130 occupies 3 words with only 2 valid bits in the last;
+  // a source buffer with garbage beyond bit 129 (e.g. the kernel's
+  // cache-line-padded rows) must not plant ghost bits.
+  DenseBitset A(130);
+  const uint64_t Src[3] = {1, 0, ~uint64_t(0)};
+  A.orWords(Src, 3);
+  EXPECT_EQ(A.count(), 3u); // bits 0, 128, 129 only
+  EXPECT_TRUE(A.contains(0));
+  EXPECT_TRUE(A.contains(128));
+  EXPECT_TRUE(A.contains(129));
+  EXPECT_EQ(A.count(), A.popcount());
+
+  // Equality against a conventionally-built set proves no ghost bits
+  // survived in the tail word's representation.
+  DenseBitset B(130);
+  B.insert(0);
+  B.insert(128);
+  B.insert(129);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(DenseBitset, OrWordsShortSourceAndPopcount) {
+  // A source shorter than the destination ORs only its prefix.
+  DenseBitset A(200);
+  const uint64_t Src[1] = {uint64_t(1) << 63};
+  A.orWords(Src, 1);
+  EXPECT_EQ(A.count(), 1u);
+  EXPECT_TRUE(A.contains(63));
+
+  // An exact-multiple universe has no tail to mask: the last word keeps
+  // every bit.
+  DenseBitset C(128);
+  const uint64_t Full[2] = {~uint64_t(0), ~uint64_t(0)};
+  C.orWords(Full, 2);
+  EXPECT_EQ(C.count(), 128u);
+  EXPECT_EQ(C.popcount(), 128u);
+}
+
 TEST(DenseBitset, ContainsAllAndEquality) {
   DenseBitset A(64), B(64);
   A.insert(3);
