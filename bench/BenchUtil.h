@@ -69,6 +69,12 @@ public:
       Fields.emplace_back(Key, "\"" + Value + "\"");
       return *this;
     }
+    /// Embeds \p Json verbatim as the value — for pre-rendered objects
+    /// like the metrics snapshot (`snapshotMetrics().toJson()`).
+    Record &addRaw(const char *Key, std::string Json) {
+      Fields.emplace_back(Key, std::move(Json));
+      return *this;
+    }
 
   private:
     friend class JsonReport;

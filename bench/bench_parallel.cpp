@@ -38,6 +38,7 @@
 #include "core/QueryEngine.h"
 #include "gen/Corpus.h"
 #include "gen/Generators.h"
+#include "support/Metrics.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 
@@ -183,6 +184,11 @@ void printPaperTables() {
         .add("scaling4", Ms[2] > 0 ? Ms[0] / Ms[2] : 0);
   }
   std::printf("%s\n", T2.render().c_str());
+
+  // The per-stage accounting behind the wall-clock cells above (freeze
+  // counts, close edges, dispatch decisions) rides along in the JSON.
+  Report.record("metrics_snapshot")
+      .addRaw("metrics", snapshotMetrics().toJson(2));
 }
 
 void printKernelTables() {
@@ -299,6 +305,9 @@ void printKernelTables() {
         .add("scaling4", Ms[2] > 0 ? Ms[0] / Ms[2] : 0);
   }
   std::printf("%s\n", T4.render().c_str());
+
+  Report.record("metrics_snapshot")
+      .addRaw("metrics", snapshotMetrics().toJson(2));
 }
 
 /// Correctness-only smoke for CI: the kernel and the kernel-backed batch

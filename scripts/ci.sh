@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+#===-- scripts/ci.sh - Full CI sweep ---------------------------------------===#
+#
+# Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+#
+# Builds and tests three presets:
+#
+#   1. default   - RelWithDebInfo, the tier-1 gate (all labels)
+#   2. asan      - AddressSanitizer + UBSan, unit + fuzz labels
+#   3. tsan      - ThreadSanitizer, unit label (the parallel query/kernel
+#                  paths are what TSan is here for; the fuzz sweep under
+#                  TSan is slow and adds no thread coverage)
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast  skip the sanitizer presets (tier-1 only)
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run_preset() {
+  local dir=$1; shift
+  local cmake_args=$1; shift
+  local label_args=("$@")
+  echo "=== preset ${dir} (${cmake_args:-default}) ==="
+  # shellcheck disable=SC2086
+  cmake -B "${dir}" -S . ${cmake_args} >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" "${label_args[@]}")
+}
+
+# Tier 1: the default build runs every registered test (unit, fuzz,
+# bench-smoke, examples).
+run_preset build ""
+
+if [[ "${FAST}" == 0 ]]; then
+  run_preset build-asan "-DSTCFA_SANITIZE=address,undefined" -L 'unit|fuzz'
+  run_preset build-tsan "-DSTCFA_SANITIZE=thread" -L unit
+fi
+
+echo "=== ci.sh: all presets green ==="

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+#===-- scripts/coverage.sh - Line-coverage summary -------------------------===#
+#
+# Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+#
+# Builds with -DSTCFA_COVERAGE=ON (gcov instrumentation, -O0), runs the
+# unit + fuzz suites, and prints a per-file and aggregate line-coverage
+# summary for src/ using plain gcov — no gcovr/lcov dependency.
+#
+# Usage: scripts/coverage.sh
+#
+# The headline number lands in docs/OBSERVABILITY.md ("Coverage").
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+cmake -B build-cov -S . -DSTCFA_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-cov -j "${JOBS}"
+(cd build-cov && ctest -j "${JOBS}" -L 'unit|fuzz' --output-on-failure)
+
+# gcov each .gcda next to its object file; collect the per-source
+# "Lines executed" stdout summaries and aggregate them.
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "${SCRATCH}"' EXIT
+find "${ROOT}/build-cov" -name '*.gcda' | while read -r gcda; do
+  (cd "${SCRATCH}" && gcov -r -s "${ROOT}" -o "$(dirname "${gcda}")" \
+      "${gcda}" 2>/dev/null) || true
+done > "${SCRATCH}/raw.txt"
+
+awk '
+  /^File / {
+    file = $0
+    sub(/^File .(\.\.\/)*/, "", file); sub(/.$/, "", file)
+    next
+  }
+  /^Lines executed:/ && file != "" {
+    split($0, a, /[:% ]+/)  # Lines executed:PP.PP% of N
+    pct = a[3]; n = a[5]
+    # A file can appear once per object that includes it; keep the best
+    # run (gcda sets differ only in which template bodies were emitted).
+    if (file ~ /^src\// && n + 0 > 0) {
+      cov = pct / 100 * n
+      if (!(file in lines) || cov > covd[file]) {
+        lines[file] = n; covd[file] = cov
+      }
+    }
+    file = ""
+  }
+  END {
+    for (f in lines)
+      printf "%s %d %.1f\n", f, lines[f], covd[f] / lines[f] * 100
+  }
+' "${SCRATCH}/raw.txt" | sort | awk '
+  BEGIN { printf "%-52s %9s %8s\n", "file", "lines", "cover" }
+  {
+    printf "%-52s %9d %7.1f%%\n", $1, $2, $3
+    total += $2; covered += $3 / 100 * $2
+  }
+  END {
+    printf "%-52s %9d %7.1f%%\n", "TOTAL (src/)", total,
+           total ? covered / total * 100 : 0
+  }
+'

@@ -7,7 +7,9 @@
 #include "analysis/HybridCFA.h"
 
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 
@@ -101,26 +103,48 @@ HybridCFA::HybridCFA(const Module &M, const HybridOptions &Opts)
 Status HybridCFA::solve() {
   assert(!HasRun && "solve() called twice");
   HasRun = true;
+  Span SolveSpan("hybrid.solve");
+  auto finish = [&](Status F) {
+    static Counter &Solves = counter("hybrid.solves");
+    Solves.inc();
+    Report.Served = engineName(Used);
+    SolveSpan.arg("attempts", Report.Attempts.size());
+    SolveSpan.arg("served", engineName(Used));
+    return Report.Final = std::move(F);
+  };
+  // Every degradation step is one instant event: which rung the ladder
+  // moves to (0 = no answer) and the Status code that forced the move.
+  auto rungTransition = [](const Status &Why, uint64_t ToRung) {
+    static Counter &Transitions = counter("hybrid.rung_transitions");
+    Transitions.inc();
+    traceInstant("hybrid.rung-transition", "cause", statusCodeName(Why.code()),
+                 "to_rung", ToRung);
+  };
 
   // Rung 1: the subtransitive analysis with exact datatype tracking (so a
   // success has exactly standard-CFA precision) and a linear node budget.
   Timer SubTimer;
-  SubtransitiveConfig C;
-  C.Congruence = CongruenceMode::None;
-  C.MaxNodes = uint64_t(Opts.BudgetFactor) * M.numExprs() + 1024;
-  Graph = std::make_unique<SubtransitiveGraph>(M, C);
-  Graph->build();
-  Status SubStatus = Graph->close(Opts.D, Opts.Token);
-  if (SubStatus.isOk() && Graph->stats().Widenings != 0)
-    // Widening trades precision for termination; a widened graph is not
-    // standard-CFA-exact, which is the signature of a program outside
-    // the bounded-type classes — same treatment as a blown budget.
-    SubStatus = Status::resourceExhausted(
-        "depth widening engaged: program is outside the bounded-type "
-        "classes");
-  if (SubStatus.isOk() && faultFires(fault::HybridSubtransitiveBudget))
-    SubStatus =
-        Status::resourceExhausted("injected subtransitive budget exhaustion");
+  Status SubStatus = Status::ok();
+  {
+    Span RungSpan("hybrid.subtransitive");
+    SubtransitiveConfig C;
+    C.Congruence = CongruenceMode::None;
+    C.MaxNodes = uint64_t(Opts.BudgetFactor) * M.numExprs() + 1024;
+    Graph = std::make_unique<SubtransitiveGraph>(M, C);
+    Graph->build();
+    SubStatus = Graph->close(Opts.D, Opts.Token);
+    if (SubStatus.isOk() && Graph->stats().Widenings != 0)
+      // Widening trades precision for termination; a widened graph is not
+      // standard-CFA-exact, which is the signature of a program outside
+      // the bounded-type classes — same treatment as a blown budget.
+      SubStatus = Status::resourceExhausted(
+          "depth widening engaged: program is outside the bounded-type "
+          "classes");
+    if (SubStatus.isOk() && faultFires(fault::HybridSubtransitiveBudget))
+      SubStatus =
+          Status::resourceExhausted("injected subtransitive budget exhaustion");
+    RungSpan.arg("status", statusCodeName(SubStatus.code()));
+  }
   Report.Attempts.push_back({"subtransitive", SubStatus, SubTimer.millis()});
 
   if (SubStatus.isOk()) {
@@ -136,8 +160,7 @@ Status HybridCFA::solve() {
       Queries = std::make_unique<QueryEngine>(*Frozen, Opts.Threads);
       Queries->setKernelThreshold(Opts.KernelThreshold);
       Used = Engine::Subtransitive;
-      Report.Served = engineName(Used);
-      return Report.Final = Status::ok();
+      return finish(Status::ok());
     }
     SubStatus = FreezeStatus; // a failed freeze degrades like a failed close
   }
@@ -147,29 +170,34 @@ Status HybridCFA::solve() {
   Graph.reset();
 
   if (SubStatus == StatusCode::Cancelled || Opts.Degrade == DegradeMode::Off) {
+    rungTransition(SubStatus, 0);
     Used = Engine::None;
-    Report.Served = engineName(Used);
-    return Report.Final = SubStatus;
+    return finish(SubStatus);
   }
 
   // Rung 2: the standard cubic algorithm under the remaining deadline.
+  rungTransition(SubStatus, 2);
   if (!Opts.D.expired()) {
     Timer StdTimer;
-    Fallback = std::make_unique<StandardCFA>(M);
-    Status StdStatus = Fallback->run(Opts.D, Opts.Token);
+    Status StdStatus = Status::ok();
+    {
+      Span RungSpan("hybrid.standard");
+      Fallback = std::make_unique<StandardCFA>(M);
+      StdStatus = Fallback->run(Opts.D, Opts.Token);
+      RungSpan.arg("status", statusCodeName(StdStatus.code()));
+    }
     Report.Attempts.push_back({"standard", StdStatus, StdTimer.millis()});
     if (StdStatus.isOk()) {
       Used = Engine::Standard;
-      Report.Served = engineName(Used);
-      return Report.Final = Status::ok();
+      return finish(Status::ok());
     }
     // A timed-out standard run holds *under*-approximate sets — never
     // serve them.
     Fallback.reset();
     if (StdStatus == StatusCode::Cancelled) {
+      rungTransition(StdStatus, 0);
       Used = Engine::None;
-      Report.Served = engineName(Used);
-      return Report.Final = StdStatus;
+      return finish(StdStatus);
     }
     SubStatus = StdStatus;
   } else {
@@ -183,15 +211,16 @@ Status HybridCFA::solve() {
   // Rung 3: the bounded partial answer — every label set is the universal
   // set, a conservative superset of any exact answer, in O(labels) time.
   if (Opts.Degrade == DegradeMode::Partial) {
+    rungTransition(SubStatus, 3);
+    Span RungSpan("hybrid.partial");
     Report.Attempts.push_back({"partial", Status::ok(), 0.0});
     Used = Engine::PartialAnswer;
-    Report.Served = engineName(Used);
-    return Report.Final = Status::ok();
+    return finish(Status::ok());
   }
 
+  rungTransition(SubStatus, 0);
   Used = Engine::None;
-  Report.Served = engineName(Used);
-  return Report.Final = SubStatus;
+  return finish(SubStatus);
 }
 
 DenseBitset HybridCFA::universalLabels() const {

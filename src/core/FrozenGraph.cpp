@@ -7,7 +7,9 @@
 #include "core/FrozenGraph.h"
 
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -53,14 +55,25 @@ void FrozenGraph::resetToInert() {
 }
 
 Status FrozenGraph::init(const Deadline &D) {
+  Span FreezeSpan("freeze");
+  static Counter &Freezes = counter("freeze.count");
+  static Counter &FreezeAborts = counter("freeze.aborts");
+  static Histogram &Millis =
+      histogram("freeze.millis", latencyBucketsMillis());
+  Freezes.inc();
+  auto fail = [&](Status S) {
+    FreezeAborts.inc();
+    FreezeSpan.arg("status", statusCodeName(S.code()));
+    return S;
+  };
   // An aborted close leaves the graph un-closed too, so test abortion
   // first: its diagnostic (which carries the close status) is the one the
   // caller needs.
   if (G.aborted())
-    return Status::failedPrecondition(
-        "an aborted graph must not be frozen: " + G.closeStatus().toString());
+    return fail(Status::failedPrecondition(
+        "an aborted graph must not be frozen: " + G.closeStatus().toString()));
   if (!G.closed())
-    return Status::failedPrecondition("freeze before close()");
+    return fail(Status::failedPrecondition("freeze before close()"));
   NumNodes = G.numNodes();
   Timer T;
 
@@ -75,7 +88,7 @@ Status FrozenGraph::init(const Deadline &D) {
     return Status::ok();
   };
   if (Status S = checkpoint(); !S.isOk())
-    return S;
+    return fail(std::move(S));
 
   // Forward CSR: count, prefix-sum, fill.  Each row is sorted ascending
   // — queries are order-insensitive, and monotone targets keep the DFS
@@ -99,7 +112,7 @@ Status FrozenGraph::init(const Deadline &D) {
     std::sort(OutTargets.begin() + OutOffsets[N],
               OutTargets.begin() + OutOffsets[N + 1]);
   if (Status S = checkpoint(); !S.isOk())
-    return S;
+    return fail(std::move(S));
 
   // Reverse CSR, derived from the forward arrays.
   InOffsets.assign(NumNodes + 1, 0);
@@ -115,7 +128,7 @@ Status FrozenGraph::init(const Deadline &D) {
         InTargets[Fill[OutTargets[I]]++] = N;
   }
   if (Status S = checkpoint(); !S.isOk())
-    return S;
+    return fail(std::move(S));
 
   // Labels and ops hoisted into flat arrays.
   LabelAt.resize(NumNodes);
@@ -146,6 +159,10 @@ Status FrozenGraph::init(const Deadline &D) {
   }
 
   FreezeMs = T.millis();
+  Millis.observe(static_cast<uint64_t>(FreezeMs));
+  FreezeSpan.arg("nodes", NumNodes);
+  FreezeSpan.arg("edges", OutTargets.size());
+  FreezeSpan.arg("status", statusCodeName(StatusCode::Ok));
   return Status::ok();
 }
 
@@ -175,7 +192,16 @@ const Condensation &FrozenGraph::condensation() const {
   // alone (it computes the label closure itself, in parallel), so it
   // must not pay for — or race with — the serial `sccLabelSets` sweep.
   std::call_once(CondOnce, [this] {
+    Span CondSpan("condense");
+    static Counter &Condensations = counter("condense.count");
+    static Histogram &Millis =
+        histogram("condense.millis", latencyBucketsMillis());
+    Condensations.inc();
+    Timer T;
     Cond = std::make_unique<Condensation>(NumNodes, OutOffsets, OutTargets);
+    Millis.observe(static_cast<uint64_t>(T.millis()));
+    CondSpan.arg("nodes", NumNodes);
+    CondSpan.arg("sccs", Cond->numSccs());
   });
   return *Cond;
 }

@@ -7,7 +7,9 @@
 #include "core/LabelSetKernel.h"
 
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <string>
@@ -115,6 +117,7 @@ void LabelSetKernel::closeComponent(uint32_t Scc) {
   const uint32_t *Tgt = F.outTargets();
   const uint32_t *Lab = F.labelArray();
   const uint32_t W = WordsPerSet;
+  uint64_t WordOrs = 0; // accumulated locally; one counter add per component
   for (uint32_t I = SccNodeOffsets[Scc], E = SccNodeOffsets[Scc + 1]; I != E;
        ++I) {
     uint32_t N = SccNodes[I];
@@ -127,23 +130,46 @@ void LabelSetKernel::closeComponent(uint32_t Scc) {
       const uint64_t *SR = row(S);
       for (uint32_t K = 0; K != W; ++K)
         R[K] |= SR[K];
+      WordOrs += W;
     }
   }
+  static Counter &WordOrsC = counter("kernel.word_ors");
+  static Counter &Rows = counter("kernel.rows_finalized");
+  WordOrsC.add(WordOrs);
+  Rows.inc();
 }
 
 Status LabelSetKernel::run(const Controls &C) {
   if (complete())
     return RunStatus;
+  Span RunSpan("kernel.run");
   Timer T;
+  static Counter &Runs = counter("kernel.runs");
+  static Counter &Aborts = counter("kernel.aborts");
+  static Counter &Levels = counter("kernel.levels_completed");
+  static Histogram &Millis =
+      histogram("kernel.millis", latencyBucketsMillis());
+  Runs.inc();
+  const uint32_t LevelsBefore = LevelsDone;
+  auto finish = [&](Status S) {
+    if (!S.isOk())
+      Aborts.inc();
+    Levels.add(LevelsDone - LevelsBefore);
+    Millis.observe(static_cast<uint64_t>(T.millis()));
+    RunSpan.arg("levels_total", NumLevels);
+    RunSpan.arg("levels_done", LevelsDone);
+    RunSpan.arg("status", statusCodeName(S.code()));
+    Ran = true;
+    RunStatus = std::move(S);
+    ClosureMs += T.millis();
+    return RunStatus;
+  };
   if (!LevelsBuilt) {
     Status S = buildSchedule();
-    if (!S.isOk()) {
-      Ran = true;
-      RunStatus = S;
-      ClosureMs += T.millis();
-      return RunStatus;
-    }
+    if (!S.isOk())
+      return finish(std::move(S));
   }
+  RunSpan.arg("sccs", Cond->numSccs());
 
   // One governor checkpoint per level; the word loops stay check-free.
   // `LevelsDone` only advances past a level's barrier, so an abort here
@@ -151,26 +177,21 @@ Status LabelSetKernel::run(const Controls &C) {
   // result contract.
   while (LevelsDone != NumLevels) {
     uint32_t Lv = LevelsDone;
-    if (C.Token.cancelled() || faultFires(fault::KernelLevelCancel)) {
-      Ran = true;
-      RunStatus = Status::cancelled("label-set kernel cancelled at level " +
-                                    std::to_string(Lv) + " of " +
-                                    std::to_string(NumLevels));
-      ClosureMs += T.millis();
-      return RunStatus;
-    }
-    if (C.D.expired()) {
-      Ran = true;
-      RunStatus =
+    if (C.Token.cancelled() || faultFires(fault::KernelLevelCancel))
+      return finish(Status::cancelled("label-set kernel cancelled at level " +
+                                      std::to_string(Lv) + " of " +
+                                      std::to_string(NumLevels)));
+    if (C.D.expired())
+      return finish(
           Status::deadlineExceeded("label-set kernel exceeded its deadline "
                                    "at level " +
                                    std::to_string(Lv) + " of " +
-                                   std::to_string(NumLevels));
-      ClosureMs += T.millis();
-      return RunStatus;
-    }
+                                   std::to_string(NumLevels)));
 
     size_t Begin = LevelOffsets[Lv], End = LevelOffsets[Lv + 1];
+    Span LevelSpan("kernel.level");
+    LevelSpan.arg("level", Lv);
+    LevelSpan.arg("components", End - Begin);
     if (Pool && Threads > 1 && End - Begin > 1) {
       // `parallelFor` is the per-level barrier: it returns only after
       // every component in the level is final, and its internal
@@ -186,10 +207,21 @@ Status LabelSetKernel::run(const Controls &C) {
     ++LevelsDone;
   }
 
-  Ran = true;
-  RunStatus = Status::ok();
-  ClosureMs += T.millis();
-  return RunStatus;
+  // The corruption canary: a silently wrong row, so the differential
+  // fuzz suite can prove it would catch a kernel bug.  Applied only on a
+  // *successful* run — an aborted kernel falls back to BFS and a corrupt
+  // row would never be read.
+  if (faultFires(fault::KernelRowCorrupt) && WordsPerSet != 0) {
+    for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+      uint32_t N = F.nodeOfExpr(ExprId(I));
+      if (N == FrozenGraph::None)
+        continue;
+      rowMut(Cond->sccOf(N))[0] ^= 1;
+      break;
+    }
+  }
+
+  return finish(Status::ok());
 }
 
 DenseBitset LabelSetKernel::labelsOfNode(uint32_t N) const {

@@ -8,6 +8,8 @@
 
 #include "core/LabelSetKernel.h"
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -29,6 +31,24 @@ LabelSetKernel &QueryEngine::kernelRef() {
   if (!Kern)
     Kern = std::make_unique<LabelSetKernel>(F, Pool.get(), NumThreads);
   return *Kern;
+}
+
+bool QueryEngine::dispatchKernel(size_t BatchSize, const Deadline &D,
+                                 const CancellationToken &Token) {
+  if (!kernelEligible(BatchSize))
+    return false;
+  Status S = kernelRef().run({D, Token});
+  static Counter &KernelDispatch = counter("query.batch.kernel_dispatch");
+  static Counter &Fallbacks = counter("query.batch.kernel_fallback");
+  if (S.isOk()) {
+    KernelDispatch.inc();
+    return true;
+  }
+  // Abort (real deadline/cancel or injected fault) → transparent per-
+  // query BFS fallback; the instant event records why.
+  Fallbacks.inc();
+  traceInstant("query.kernel-fallback", "cause", statusCodeName(S.code()));
+  return false;
 }
 
 /// Forward/reverse duality: an occurrence `E` is in `occurrencesOf(L)`
@@ -217,15 +237,22 @@ inline Shard shardOf(size_t N, size_t NumShards, size_t Index) {
 
 std::vector<DenseBitset>
 QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es) {
+  Span BatchSpan("query.batch.labels");
+  BatchSpan.arg("items", Es.size());
+  BatchSpan.arg("lanes", NumThreads);
   // Above the threshold, one kernel closure is amortised across the
   // whole batch and each answer is a row copy.  A kernel abort (only
   // possible through injected faults on this ungoverned path) falls
   // through to the per-query BFS below.
-  if (kernelEligible(Es.size()) && kernelRef().run().isOk()) {
+  if (dispatchKernel(Es.size())) {
+    BatchSpan.arg("dispatch", "kernel");
     const LabelSetKernel &K = *Kern;
     std::vector<DenseBitset> Out(Es.size());
-    auto CopyShard = [&](unsigned, size_t Index) {
+    auto CopyShard = [&](unsigned Lane, size_t Index) {
       Shard Sh = shardOf(Es.size(), NumThreads, Index);
+      Span LaneSpan("query.lane");
+      LaneSpan.arg("lane", Lane);
+      LaneSpan.arg("items", Sh.End - Sh.Begin);
       for (size_t I = Sh.Begin; I != Sh.End; ++I)
         Out[I] = K.labelsOf(Es[I]);
     };
@@ -236,10 +263,16 @@ QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es) {
     return Out;
   }
 
+  BatchSpan.arg("dispatch", "bfs");
+  static Counter &BfsDispatch = counter("query.batch.bfs_dispatch");
+  BfsDispatch.inc();
   std::vector<DenseBitset> Out(Es.size());
   auto RunShard = [&](unsigned Lane, size_t Index) {
     Scratch &S = Lanes[Lane];
     Shard Sh = shardOf(Es.size(), NumThreads, Index);
+    Span LaneSpan("query.lane");
+    LaneSpan.arg("lane", Lane);
+    LaneSpan.arg("items", Sh.End - Sh.Begin);
     for (size_t I = Sh.Begin; I != Sh.End; ++I) {
       uint32_t Start = F.nodeOfExpr(Es[I]);
       Out[I] = Start == FrozenGraph::None ? DenseBitset(M.numLabels())
@@ -256,15 +289,22 @@ QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es) {
 std::vector<char>
 QueryEngine::isLabelInBatch(const std::vector<std::pair<ExprId, LabelId>> &Qs) {
   std::vector<char> Out(Qs.size(), 0);
+  Span BatchSpan("query.batch.members");
+  BatchSpan.arg("items", Qs.size());
+  BatchSpan.arg("lanes", NumThreads);
   // Membership batches never *build* the closure (a single bit each is
   // too cheap to justify it), but once an earlier batch completed the
   // kernel, every membership test is one O(1) bit probe.
   const LabelSetKernel *K =
       (KernelThreshold != 0 && Kern && Kern->complete()) ? Kern.get()
                                                          : nullptr;
+  BatchSpan.arg("dispatch", K ? "kernel" : "bfs");
   auto RunShard = [&](unsigned Lane, size_t Index) {
     Scratch &S = Lanes[Lane];
     Shard Sh = shardOf(Qs.size(), NumThreads, Index);
+    Span LaneSpan("query.lane");
+    LaneSpan.arg("lane", Lane);
+    LaneSpan.arg("items", Sh.End - Sh.Begin);
     for (size_t I = Sh.Begin; I != Sh.End; ++I) {
       uint32_t Start = F.nodeOfExpr(Qs[I].first);
       Out[I] = Start != FrozenGraph::None &&
@@ -282,13 +322,20 @@ QueryEngine::isLabelInBatch(const std::vector<std::pair<ExprId, LabelId>> &Qs) {
 std::vector<std::vector<ExprId>>
 QueryEngine::occurrencesOfBatch(const std::vector<LabelId> &Ls) {
   std::vector<std::vector<ExprId>> Out(Ls.size());
+  Span BatchSpan("query.batch.occurrences");
+  BatchSpan.arg("items", Ls.size());
+  BatchSpan.arg("lanes", NumThreads);
   // Kernel path (find_callers batches): one forward closure, then one
   // bit probe per (label, occurrence) pair via the forward/reverse
   // duality — instead of one reverse BFS per label.
-  if (kernelEligible(Ls.size()) && kernelRef().run().isOk()) {
+  if (dispatchKernel(Ls.size())) {
+    BatchSpan.arg("dispatch", "kernel");
     const LabelSetKernel &K = *Kern;
-    auto ProbeShard = [&](unsigned, size_t Index) {
+    auto ProbeShard = [&](unsigned Lane, size_t Index) {
       Shard Sh = shardOf(Ls.size(), NumThreads, Index);
+      Span LaneSpan("query.lane");
+      LaneSpan.arg("lane", Lane);
+      LaneSpan.arg("items", Sh.End - Sh.Begin);
       for (size_t I = Sh.Begin; I != Sh.End; ++I)
         occurrencesFromKernel(K, Ls[I], Out[I]);
     };
@@ -299,9 +346,15 @@ QueryEngine::occurrencesOfBatch(const std::vector<LabelId> &Ls) {
     return Out;
   }
 
+  BatchSpan.arg("dispatch", "bfs");
+  static Counter &BfsDispatch = counter("query.batch.bfs_dispatch");
+  BfsDispatch.inc();
   auto RunShard = [&](unsigned Lane, size_t Index) {
     Scratch &S = Lanes[Lane];
     Shard Sh = shardOf(Ls.size(), NumThreads, Index);
+    Span LaneSpan("query.lane");
+    LaneSpan.arg("lane", Lane);
+    LaneSpan.arg("items", Sh.End - Sh.Begin);
     for (size_t I = Sh.Begin; I != Sh.End; ++I)
       markOccurrences(S, Ls[I], Out[I]);
   };
@@ -314,6 +367,10 @@ QueryEngine::occurrencesOfBatch(const std::vector<LabelId> &Ls) {
 
 std::vector<DenseBitset> QueryEngine::allLabelSets(bool UseScc) {
   std::vector<DenseBitset> Out(M.numExprs(), DenseBitset(M.numLabels()));
+  Span BatchSpan("query.all-labels");
+  BatchSpan.arg("exprs", M.numExprs());
+  BatchSpan.arg("lanes", NumThreads);
+  BatchSpan.arg("strategy", UseScc ? "scc" : "bfs");
 
   if (UseScc) {
     // The condensation and its per-component label sets are cached on
@@ -346,6 +403,9 @@ std::vector<DenseBitset> QueryEngine::allLabelSets(bool UseScc) {
   auto RunShard = [&](unsigned Lane, size_t Index) {
     Scratch &S = Lanes[Lane];
     Shard Sh = shardOf(Distinct.size(), NumThreads, Index);
+    Span LaneSpan("query.lane");
+    LaneSpan.arg("lane", Lane);
+    LaneSpan.arg("items", Sh.End - Sh.Begin);
     for (size_t I = Sh.Begin; I != Sh.End; ++I)
       PerNode[Distinct[I]] = labelsFromNode(S, Distinct[I]);
   };
@@ -384,6 +444,9 @@ void QueryEngine::runGoverned(size_t N, const BatchControl &C,
   auto RunShard = [&](unsigned Lane, size_t Index) {
     Scratch &S = Lanes[Lane];
     Shard Sh = shardOf(N, NumThreads, Index);
+    Span LaneSpan("query.lane");
+    LaneSpan.arg("lane", Lane);
+    LaneSpan.arg("items", Sh.End - Sh.Begin);
     for (size_t I = Sh.Begin; I != Sh.End; ++I) {
       if (Stop.load(std::memory_order_relaxed))
         return;
@@ -402,12 +465,20 @@ void QueryEngine::runGoverned(size_t N, const BatchControl &C,
   else
     RunShard(0, 0);
   Out.Completed = Completed.load();
+  static Counter &Items = counter("query.batch.items_completed");
+  static Counter &Aborts = counter("query.batch.aborts");
+  Items.add(Out.Completed);
+  if (!Out.S.isOk())
+    Aborts.inc();
 }
 
 std::vector<DenseBitset>
 QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es,
                            const BatchControl &C, BatchOutcome &Outcome) {
   std::vector<DenseBitset> Out(Es.size(), DenseBitset(M.numLabels()));
+  Span BatchSpan("query.batch.labels");
+  BatchSpan.arg("items", Es.size());
+  BatchSpan.arg("lanes", NumThreads);
   // Kernel path: run the closure under the batch's own controls, then
   // materialise answers through `runGoverned`, so per-item governor
   // semantics (poll-between-items, prefix Done flags, the query.batch-*
@@ -416,13 +487,16 @@ QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es,
   // the governed per-query BFS: a real trigger re-fires on its first
   // poll there (canonical partial result), an injected kernel fault
   // degrades to the slow path and the batch still completes.
-  if (kernelEligible(Es.size()) &&
-      kernelRef().run({C.D, C.Token}).isOk()) {
+  if (dispatchKernel(Es.size(), C.D, C.Token)) {
+    BatchSpan.arg("dispatch", "kernel");
     const LabelSetKernel &K = *Kern;
     runGoverned(Es.size(), C, Outcome,
                 [&](Scratch &, size_t I) { Out[I] = K.labelsOf(Es[I]); });
     return Out;
   }
+  BatchSpan.arg("dispatch", "bfs");
+  static Counter &BfsDispatch = counter("query.batch.bfs_dispatch");
+  BfsDispatch.inc();
   runGoverned(Es.size(), C, Outcome, [&](Scratch &S, size_t I) {
     uint32_t Start = F.nodeOfExpr(Es[I]);
     if (Start != FrozenGraph::None)
@@ -435,11 +509,15 @@ std::vector<char>
 QueryEngine::isLabelInBatch(const std::vector<std::pair<ExprId, LabelId>> &Qs,
                             const BatchControl &C, BatchOutcome &Outcome) {
   std::vector<char> Out(Qs.size(), 0);
+  Span BatchSpan("query.batch.members");
+  BatchSpan.arg("items", Qs.size());
+  BatchSpan.arg("lanes", NumThreads);
   // Same policy as the ungoverned overload: probe the kernel only if an
   // earlier batch already completed it.
   const LabelSetKernel *K =
       (KernelThreshold != 0 && Kern && Kern->complete()) ? Kern.get()
                                                          : nullptr;
+  BatchSpan.arg("dispatch", K ? "kernel" : "bfs");
   runGoverned(Qs.size(), C, Outcome, [&](Scratch &S, size_t I) {
     uint32_t Start = F.nodeOfExpr(Qs[I].first);
     Out[I] = Start != FrozenGraph::None &&
@@ -453,16 +531,22 @@ std::vector<std::vector<ExprId>>
 QueryEngine::occurrencesOfBatch(const std::vector<LabelId> &Ls,
                                 const BatchControl &C, BatchOutcome &Outcome) {
   std::vector<std::vector<ExprId>> Out(Ls.size());
+  Span BatchSpan("query.batch.occurrences");
+  BatchSpan.arg("items", Ls.size());
+  BatchSpan.arg("lanes", NumThreads);
   // Mirrors governed labelsOfBatch: kernel closure under the batch
   // controls, canonical per-item materialisation, BFS fallback on abort.
-  if (kernelEligible(Ls.size()) &&
-      kernelRef().run({C.D, C.Token}).isOk()) {
+  if (dispatchKernel(Ls.size(), C.D, C.Token)) {
+    BatchSpan.arg("dispatch", "kernel");
     const LabelSetKernel &K = *Kern;
     runGoverned(Ls.size(), C, Outcome, [&](Scratch &, size_t I) {
       occurrencesFromKernel(K, Ls[I], Out[I]);
     });
     return Out;
   }
+  BatchSpan.arg("dispatch", "bfs");
+  static Counter &BfsDispatch = counter("query.batch.bfs_dispatch");
+  BfsDispatch.inc();
   runGoverned(Ls.size(), C, Outcome, [&](Scratch &S, size_t I) {
     markOccurrences(S, Ls[I], Out[I]);
   });

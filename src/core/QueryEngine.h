@@ -178,6 +178,12 @@ private:
   }
   /// The lazily-built kernel (shares this engine's pool).
   LabelSetKernel &kernelRef();
+  /// Runs the kernel for an eligible batch under the given controls
+  /// (defaults never fire).  Counts the dispatch; on a governed kernel
+  /// abort, counts the fallback, records the cause, and returns false so
+  /// the caller takes the per-query BFS path.
+  bool dispatchKernel(size_t BatchSize, const Deadline &D = Deadline(),
+                      const CancellationToken &Token = CancellationToken());
   void occurrencesFromKernel(const LabelSetKernel &K, LabelId L,
                              std::vector<ExprId> &Out);
   /// Shards \p N items across the lanes, invoking `Item(Scratch&, I)`

@@ -8,6 +8,9 @@
 
 #include "ast/Printer.h"
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
 using namespace stcfa;
 
@@ -529,10 +532,36 @@ Status SubtransitiveGraph::close(const Deadline &D,
                                  const CancellationToken &Token) {
   assert(Built && "close() before build()");
   InClosePhase = true;
-  auto governedStop = [&](Status S) {
-    Aborted = true;
+  Span CloseSpan("close");
+  Timer CloseTimer;
+  const size_t NodesBefore = Ops.size(), EdgesBefore = Edges.size();
+  uint64_t Polls = 0;
+  auto finish = [&](Status S) {
+    static Counter &Runs = counter("close.runs");
+    static Counter &AbortsC = counter("close.aborts");
+    static Counter &EdgesAdded = counter("close.edges_added");
+    static Counter &NodesAdded = counter("close.nodes_added");
+    static Counter &PollsC = counter("close.checkpoint_polls");
+    static Histogram &Millis =
+        histogram("close.millis", latencyBucketsMillis());
+    Runs.inc();
+    if (!S.isOk())
+      AbortsC.inc();
+    EdgesAdded.add(Edges.size() - EdgesBefore);
+    NodesAdded.add(Ops.size() - NodesBefore);
+    PollsC.add(Polls);
+    Millis.observe(static_cast<uint64_t>(CloseTimer.millis()));
+    CloseSpan.arg("nodes_added", Ops.size() - NodesBefore);
+    CloseSpan.arg("edges_added", Edges.size() - EdgesBefore);
+    CloseSpan.arg("checkpoint_polls", Polls);
+    CloseSpan.arg("rule_firings", Stats.CloseRuleFirings);
+    CloseSpan.arg("status", statusCodeName(S.code()));
     CloseStatus = std::move(S);
     return CloseStatus;
+  };
+  auto governedStop = [&](Status S) {
+    Aborted = true;
+    return finish(std::move(S));
   };
   // Budgets are O(1) compares, checked every iteration; the clock, the
   // token, and the fault points are polled once per stride (and on the
@@ -552,6 +581,7 @@ Status SubtransitiveGraph::close(const Deadline &D,
           "close phase exceeded the edge budget (" +
           std::to_string(Config.MaxEdges) + ")"));
     if (Stride++ % GovernorStride == 0) {
+      ++Polls;
       if (Token.cancelled() || faultFires(fault::CloseCancel))
         return governedStop(Status::cancelled("close phase cancelled"));
       if (D.expired() || faultFires(fault::CloseDeadline))
@@ -570,8 +600,7 @@ Status SubtransitiveGraph::close(const Deadline &D,
     processEdge(E.From, E.To);
   }
   Closed = true;
-  CloseStatus = Status::ok();
-  return CloseStatus;
+  return finish(Status::ok());
 }
 
 void SubtransitiveGraph::processEdge(NodeId A, NodeId B) {

@@ -32,7 +32,9 @@
 #include "parser/Parser.h"
 #include "poly/Polyvariant.h"
 #include "sema/Infer.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 #include "unify/UnificationCFA.h"
 
 #include <cstdio>
@@ -63,6 +65,10 @@ struct Options {
   uint64_t CloseBudget = 0;
   /// Degradation mode for --analysis=hybrid; empty = flag not given.
   std::string Degrade;
+  /// Chrome-tracing span export path; empty = tracing stays disabled.
+  std::string TraceJson;
+  /// Metrics snapshot export path; empty = no export.
+  std::string MetricsJson;
   bool Frozen = false;
   bool Stats = false;
   bool Run = false;
@@ -101,6 +107,9 @@ int usage(const char *Argv0) {
       "  --degrade=<m>          off | standard (default) | partial —\n"
       "                         hybrid degradation ladder (hybrid only;\n"
       "                         'off' conflicts with --timeout-ms)\n"
+      "  --trace-json=<file>    write stage spans as a Chrome-tracing /\n"
+      "                         Perfetto JSON array (docs/OBSERVABILITY.md)\n"
+      "  --metrics-json=<file>  write the process metrics snapshot\n"
       "  --stats                print program/type/graph statistics\n"
       "  --print                pretty-print the parsed program\n"
       "  --dump-graph           print every subtransitive edge\n"
@@ -289,6 +298,18 @@ int main(int Argc, char **Argv) {
       }
     } else if (startsWith(A, "--degrade=")) {
       Opts.Degrade = A.substr(10);
+    } else if (startsWith(A, "--trace-json=")) {
+      Opts.TraceJson = A.substr(13);
+      if (Opts.TraceJson.empty()) {
+        std::fprintf(stderr, "error: --trace-json expects a file path\n");
+        return 2;
+      }
+    } else if (startsWith(A, "--metrics-json=")) {
+      Opts.MetricsJson = A.substr(15);
+      if (Opts.MetricsJson.empty()) {
+        std::fprintf(stderr, "error: --metrics-json expects a file path\n");
+        return 2;
+      }
     } else if (A == "--frozen")
       Opts.Frozen = true;
     else if (A == "--stats")
@@ -338,6 +359,33 @@ int main(int Argc, char **Argv) {
                  "close phase it could bound\n",
                  Opts.Analysis.c_str());
     return 2;
+  }
+
+  // Exporter lives on main's stack so every later return path — governed
+  // aborts included — still writes the requested trace/metrics files.
+  struct ObservabilityExport {
+    const Options &Opts;
+    ~ObservabilityExport() {
+      if (!Opts.TraceJson.empty() && !writeChromeTrace(Opts.TraceJson))
+        std::fprintf(stderr, "warning: cannot write trace to '%s'\n",
+                     Opts.TraceJson.c_str());
+      if (!Opts.MetricsJson.empty()) {
+        std::ofstream Out(Opts.MetricsJson);
+        if (Out)
+          Out << snapshotMetrics().toJson() << "\n";
+        if (!Out.good())
+          std::fprintf(stderr, "warning: cannot write metrics to '%s'\n",
+                       Opts.MetricsJson.c_str());
+      }
+    }
+  } Exporter{Opts};
+  if (!Opts.TraceJson.empty()) {
+    setTracingEnabled(true);
+    if (!tracingCompiledIn())
+      std::fprintf(stderr, "warning: tracing compiled out "
+                           "(-DSTCFA_TRACING=OFF); '%s' will hold an "
+                           "empty trace\n",
+                   Opts.TraceJson.c_str());
   }
 
   bool Ok = true;

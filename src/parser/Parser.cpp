@@ -7,6 +7,8 @@
 #include "parser/Parser.h"
 
 #include "parser/Lexer.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <unordered_map>
 
@@ -837,9 +839,20 @@ ExprId ParserImpl::parseParenOrTuple(SourceLoc Loc) {
 
 std::unique_ptr<Module> stcfa::parseProgram(std::string_view Source,
                                             DiagnosticEngine &Diags) {
+  Span ParseSpan("parse");
+  ParseSpan.arg("source_bytes", Source.size());
+  static Counter &Programs = counter("parse.programs");
+  static Counter &Exprs = counter("parse.exprs");
+  static Counter &Failures = counter("parse.failures");
+  Programs.inc();
   ParserImpl P(Source, Diags);
   std::unique_ptr<Module> M = P.run();
-  if (Diags.hasErrors())
+  if (Diags.hasErrors()) {
+    Failures.inc();
+    ParseSpan.arg("status", "error");
     return nullptr;
+  }
+  Exprs.add(M->numExprs());
+  ParseSpan.arg("exprs", M->numExprs());
   return M;
 }

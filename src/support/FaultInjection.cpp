@@ -38,6 +38,9 @@ constexpr FaultSite Sites[] = {
      "the label-set kernel reports a level-schedule allocation failure"},
     {fault::KernelLevelCancel, FaultKind::Cancel,
      "the label-set kernel observes a cancellation request between levels"},
+    {fault::KernelRowCorrupt, FaultKind::Corrupt,
+     "the label-set kernel silently flips one bit in a finished row — a "
+     "canary proving the differential fuzz suite can catch a wrong answer"},
     {fault::HybridSubtransitiveBudget, FaultKind::Budget,
      "the hybrid's subtransitive rung reports budget exhaustion"},
     {fault::HybridFreezeAlloc, FaultKind::Alloc,

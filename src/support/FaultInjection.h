@@ -56,6 +56,7 @@ enum class FaultKind : uint8_t {
   Alloc,     ///< an allocation reports failure
   Timeout,   ///< a deadline reports expiry
   Cancel,    ///< a cancellation token reports cancellation
+  Corrupt,   ///< a stage silently produces a wrong answer (test canary)
 };
 
 /// One registered fault point.
@@ -79,6 +80,7 @@ inline constexpr std::string_view QueryBatchDeadline = "query.batch-deadline";
 inline constexpr std::string_view QueryBatchCancel = "query.batch-cancel";
 inline constexpr std::string_view KernelAlloc = "kernel.alloc";
 inline constexpr std::string_view KernelLevelCancel = "kernel.level-cancel";
+inline constexpr std::string_view KernelRowCorrupt = "kernel.row-corrupt";
 inline constexpr std::string_view HybridSubtransitiveBudget =
     "hybrid.subtransitive-budget";
 inline constexpr std::string_view HybridFreezeAlloc = "hybrid.freeze-alloc";

@@ -473,6 +473,10 @@ TEST(FaultInjection, EverySiteDegradesGracefully) {
   Std.run();
 
   for (const FaultSite &Site : registeredFaultSites()) {
+    // Corrupt-kind sites deliberately produce a *wrong* answer — they are
+    // canaries for the differential fuzz suite, not degradation paths.
+    if (Site.Kind == FaultKind::Corrupt)
+      continue;
     SCOPED_TRACE(std::string(Site.Name));
     ArmedSite Armed(Site.Name);
 
