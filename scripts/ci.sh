@@ -35,8 +35,20 @@ run_preset() {
 }
 
 # Tier 1: the default build runs every registered test (unit, fuzz,
-# bench-smoke, examples).
+# bench-smoke, lint-smoke, examples).
 run_preset build ""
+
+# Static analysis: clang-tidy over the lint subsystem and its driver
+# wiring (.clang-tidy at the repo root picks the check families).  Scoped
+# to the newest code so the stage stays fast; gated on the tool being
+# installed so the sweep still runs on minimal containers.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy (bugprone, performance, concurrency) ==="
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  clang-tidy -p build --quiet src/lint/*.cpp src/driver/Main.cpp
+else
+  echo "=== clang-tidy not installed; skipping static-analysis stage ==="
+fi
 
 if [[ "${FAST}" == 0 ]]; then
   run_preset build-asan "-DSTCFA_SANITIZE=address,undefined" -L 'unit|fuzz'

@@ -10,9 +10,10 @@
 
 using namespace stcfa;
 
-StandardCFA::StandardCFA(const Module &M) : M(M) {
+StandardCFA::StandardCFA(const Module &M, bool TrackLiterals) : M(M) {
   // Assign abstract-value ids: labels first (so a label's value id equals
-  // its LabelId index), then tuple, constructor, and ref-cell sites.
+  // its LabelId index), then tuple, constructor, and ref-cell sites —
+  // plus literal sites when tracking them.
   ValueOfExpr.assign(M.numExprs(), ~0u);
   NumValues = M.numLabels();
   ValueSite.resize(M.numLabels());
@@ -28,7 +29,8 @@ StandardCFA::StandardCFA(const Module &M) : M(M) {
         isa<PrimExpr>(E) && cast<PrimExpr>(E)->op() == PrimOp::RefNew;
     if (IsRef)
       CellOfExpr[Id.index()] = M.numExprs() + M.numVars() + NumCells++;
-    if (!IsRef && !isa<TupleExpr>(E) && !isa<ConExpr>(E))
+    if (!IsRef && !isa<TupleExpr>(E) && !isa<ConExpr>(E) &&
+        !(TrackLiterals && isa<LitExpr>(E)))
       return;
     ValueOfExpr[Id.index()] = NumValues++;
     ValueSite.push_back(Id);
@@ -94,6 +96,10 @@ void StandardCFA::buildStaticConstraints() {
       break;
     }
     case ExprKind::Lit:
+      // Untracked by default; with TrackLiterals the constant is its own
+      // abstract value (its id was assigned in the constructor walk).
+      if (ValueOfExpr[Id.index()] != ~0u)
+        queueInsert(setOfExpr(Id), ValueOfExpr[Id.index()]);
       break;
     case ExprKind::If: {
       const auto *I = cast<IfExpr>(E);

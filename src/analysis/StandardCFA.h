@@ -49,7 +49,12 @@ struct StandardCFAStats {
 /// Runs standard CFA over a module and exposes the label sets.
 class StandardCFA {
 public:
-  explicit StandardCFA(const Module &M);
+  /// With \p TrackLiterals, literal constants become abstract value sites
+  /// too (value ids above the tuple/con/ref sites), so `valueSet` also
+  /// answers "may a base-type constant flow here?".  Label sets are
+  /// unchanged either way; the lint differential reference uses this to
+  /// check applied-non-function findings against ground truth.
+  explicit StandardCFA(const Module &M, bool TrackLiterals = false);
 
   /// Solves the constraint system to its least fixed point.
   void run() { (void)run(Deadline::infinite()); }
@@ -72,6 +77,11 @@ public:
 
   /// Raw abstract-value set (labels plus data/ref sites) of an occurrence.
   const DenseBitset &valueSet(ExprId E) const { return Sets[E.index()]; }
+
+  /// The site expression introducing abstract value \p V (a lam for
+  /// `V < Module::numLabels()`, else a tuple/con/refnew — or literal
+  /// under `TrackLiterals` — occurrence).
+  ExprId valueSite(uint32_t V) const { return ValueSite[V]; }
 
   const StandardCFAStats &stats() const { return Stats; }
 

@@ -37,7 +37,7 @@ void EffectsAnalysis::markNode(NodeId N) {
   NodeWorklist.push_back(N);
 }
 
-void EffectsAnalysis::run() {
+Status EffectsAnalysis::run(const Deadline &D, const CancellationToken &Token) {
   assert(!HasRun && "run() called twice");
   HasRun = true;
 
@@ -63,8 +63,18 @@ void EffectsAnalysis::run() {
   });
 
   // Fixpoint: redness flows from children to parents, and backwards along
-  // graph edges into ran-nodes (the paper's rule (b)).
+  // graph edges into ran-nodes (the paper's rule (b)).  Each pop is a few
+  // vector scans, so the governor checkpoint runs every `Stride` pops.
+  constexpr uint64_t Stride = 4096;
+  uint64_t Pops = 0;
   while (!ExprWorklist.empty() || !NodeWorklist.empty()) {
+    if (Pops++ % Stride == 0) {
+      if (Token.cancelled())
+        return RunStatus = Status::cancelled("effects analysis cancelled");
+      if (D.expired())
+        return RunStatus = Status::deadlineExceeded(
+                   "effects analysis exceeded its deadline");
+    }
     if (!ExprWorklist.empty()) {
       ExprId E = ExprWorklist.back();
       ExprWorklist.pop_back();
@@ -89,6 +99,7 @@ void EffectsAnalysis::run() {
       for (ExprId App : AppsOnRan[N.index()])
         markExpr(App);
   }
+  return RunStatus = Status::ok();
 }
 
 //===----------------------------------------------------------------------===//

@@ -48,7 +48,16 @@ public:
                            const FrozenGraph *Frozen = nullptr);
 
   /// Runs the propagation; call once.
-  void run();
+  void run() { (void)run(Deadline::infinite()); }
+
+  /// Governed run: polls \p D and \p Token every few thousand worklist
+  /// pops.  On `DeadlineExceeded`/`Cancelled` the marks are an
+  /// *under*-approximation (some effectful occurrences may be missed);
+  /// callers must surface the partial-result flag.
+  Status run(const Deadline &D, const CancellationToken &Token = {});
+
+  /// The status of the last `run` (`Ok` for a completed fixpoint).
+  const Status &runStatus() const { return RunStatus; }
 
   /// May evaluating \p E cause a side effect?
   bool isEffectful(ExprId E) const { return RedExpr[E.index()]; }
@@ -72,6 +81,7 @@ private:
   std::vector<ExprId> ExprWorklist;
   std::vector<NodeId> NodeWorklist;
   uint32_t NumRed = 0;
+  Status RunStatus;
   bool HasRun = false;
 };
 

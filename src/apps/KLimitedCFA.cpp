@@ -114,7 +114,8 @@ CalledOnceAnalysis::CalledOnceAnalysis(const SubtransitiveGraph &G,
          "snapshot must freeze this graph");
 }
 
-void CalledOnceAnalysis::run() {
+Status CalledOnceAnalysis::run(const Deadline &D,
+                               const CancellationToken &Token) {
   assert(!HasRun && "run() called twice");
   HasRun = true;
 
@@ -136,7 +137,21 @@ void CalledOnceAnalysis::run() {
     if (Marks[S].mergeFrom(Marks[N], /*K=*/1))
       Worklist.push_back(NodeId(S));
   };
+  constexpr uint64_t Stride = 4096;
+  uint64_t Pops = 0;
+  RunStatus = Status::ok();
   while (!Worklist.empty()) {
+    if (Pops++ % Stride == 0) {
+      if (Token.cancelled()) {
+        RunStatus = Status::cancelled("called-once analysis cancelled");
+        break;
+      }
+      if (D.expired()) {
+        RunStatus = Status::deadlineExceeded(
+            "called-once analysis exceeded its deadline");
+        break;
+      }
+    }
     NodeId N = Worklist.back();
     Worklist.pop_back();
     if (Frozen) {
@@ -148,6 +163,8 @@ void CalledOnceAnalysis::run() {
     }
   }
 
+  // Summarise whatever marker flow completed; on an aborted propagation
+  // the counts are an under-approximation and RunStatus says so.
   for (uint32_t L = 0, E = M.numLabels(); L != E; ++L) {
     LimitedSet Total;
     NodeId Lam = G.lookupExprNode(M.lamOfLabel(LabelId(L)));
@@ -164,6 +181,7 @@ void CalledOnceAnalysis::run() {
       Site[L] = ExprId(Total.ids()[0]);
     }
   }
+  return RunStatus;
 }
 
 std::vector<LabelId> CalledOnceAnalysis::calledOnce() const {

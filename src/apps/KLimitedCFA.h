@@ -91,7 +91,16 @@ public:
   explicit CalledOnceAnalysis(const SubtransitiveGraph &G,
                               const FrozenGraph *Frozen = nullptr);
 
-  void run();
+  void run() { (void)run(Deadline::infinite()); }
+
+  /// Governed run: polls \p D and \p Token every few thousand marker
+  /// merges.  On `DeadlineExceeded`/`Cancelled` the per-label counts are
+  /// computed from the partial marker flow — an under-approximation
+  /// (`Never`/`Once` may be stale); callers must surface the flag.
+  Status run(const Deadline &D, const CancellationToken &Token = {});
+
+  /// The status of the last `run` (`Ok` for a completed propagation).
+  const Status &runStatus() const { return RunStatus; }
 
   /// Result for one abstraction.
   enum class CallCount : uint8_t { Never, Once, Many };
@@ -110,6 +119,7 @@ private:
   const Module &M;
   std::vector<CallCount> Result;
   std::vector<ExprId> Site;
+  Status RunStatus;
   bool HasRun = false;
 };
 

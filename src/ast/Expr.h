@@ -102,6 +102,17 @@ public:
   ExprId id() const { return Id; }
   SourceLoc loc() const { return Loc; }
 
+  /// One past the last source character of this occurrence.  Falls back
+  /// to `loc()` (a degenerate range) for programmatically built ASTs,
+  /// which carry no surface extent.
+  SourceLoc endLoc() const { return EndLoc.isValid() ? EndLoc : Loc; }
+  /// The parser records the exclusive end position after finishing the
+  /// production (see `Module::setExprEnd`).
+  void setEndLoc(SourceLoc End) { EndLoc = End; }
+
+  /// The full `[loc(), endLoc())` span.
+  SourceRange range() const { return {Loc, endLoc()}; }
+
   /// The inferred monotype of this occurrence; invalid until inference ran.
   TypeId type() const { return Type; }
   void setType(TypeId T) { Type = T; }
@@ -114,6 +125,7 @@ private:
   ExprKind Kind;
   ExprId Id;
   SourceLoc Loc;
+  SourceLoc EndLoc;
   TypeId Type;
 };
 

@@ -136,6 +136,10 @@ public:
     Vars[Var.index()].Binder = Binder;
   }
 
+  /// Records the exclusive end position of \p E's surface extent (parser
+  /// only; builder-made expressions keep their degenerate point ranges).
+  void setExprEnd(ExprId E, SourceLoc End) { expr(E)->setEndLoc(End); }
+
   /// Declares a constructor of datatype \p DataName.
   ConId makeCon(Symbol Name, Symbol DataName, std::vector<TypeId> ArgTypes,
                 TypeId ResultType) {

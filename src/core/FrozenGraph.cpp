@@ -166,6 +166,33 @@ Status FrozenGraph::init(const Deadline &D) {
   return Status::ok();
 }
 
+uint32_t FrozenGraph::portOf(NodeOp PortOp, uint32_t Base, uint32_t Tag) const {
+  if (Base >= NumNodes)
+    return None;
+  NodeId N = G.lookupDerived(PortOp, NodeId(Base), Tag);
+  // Nodes the source grew after the freeze (incremental/polyvariant
+  // additions) have no CSR rows here; treat them as absent.
+  return N.isValid() && N.index() < NumNodes ? N.index() : None;
+}
+
+DenseBitset FrozenGraph::reachableFrom(std::span<const uint32_t> Roots,
+                                       bool Reverse) const {
+  DenseBitset Mark(NumNodes);
+  std::vector<uint32_t> Stack;
+  for (uint32_t R : Roots) {
+    if (R != None && R < NumNodes && Mark.insert(R))
+      Stack.push_back(R);
+  }
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    for (uint32_t T : Reverse ? preds(N) : succs(N))
+      if (Mark.insert(T))
+        Stack.push_back(T);
+  }
+  return Mark;
+}
+
 void FrozenGraph::buildSccLabels() const {
   // One ascending-id sweep over the condensed DAG: SCC ids are in
   // completion order, so every successor component is finalized first.

@@ -121,6 +121,23 @@ public:
     return {LabelRoots[2 * L.index()], LabelRoots[2 * L.index() + 1]};
   }
 
+  //===--- port reachability ----------------------------------------------//
+
+  /// The derived *port* node hanging off \p Base — `dom(Base)`,
+  /// `ran(Base)`, `field_Tag(Base)`, or `refcell(Base)` — or `None` when
+  /// the port was never materialised.  Cold path (one hash lookup in the
+  /// source graph); node indices in the snapshot equal source indices.
+  uint32_t portOf(NodeOp PortOp, uint32_t Base, uint32_t Tag = 0) const;
+
+  /// Multi-source reachability over the CSR rows, the primitive under
+  /// every port query: following successor edges (`Reverse` false) from a
+  /// node reaches exactly the producers of the values that may flow to it
+  /// (Proposition 1); following predecessor edges (`Reverse` true) from a
+  /// producer reaches every node its value may flow to (Proposition 2).
+  /// Roots equal to `None` are skipped.  Returns one mark bit per node.
+  DenseBitset reachableFrom(std::span<const uint32_t> Roots,
+                            bool Reverse = false) const;
+
   /// Milliseconds spent compacting (reported under `--stats`).
   double freezeMillis() const { return FreezeMs; }
 

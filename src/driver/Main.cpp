@@ -29,6 +29,8 @@
 #include "gen/Corpus.h"
 #include "gen/Generators.h"
 #include "interp/Interpreter.h"
+#include "lint/LintEngine.h"
+#include "lint/Render.h"
 #include "parser/Parser.h"
 #include "poly/Polyvariant.h"
 #include "sema/Infer.h"
@@ -74,6 +76,14 @@ struct Options {
   bool Run = false;
   bool Print = false;
   bool DumpGraph = false;
+  /// `--lint[=pass,...]`: run the checker passes instead of a query.
+  bool Lint = false;
+  /// Selected pass ids; empty = all registered passes.
+  std::vector<std::string> LintPasses;
+  std::string LintFormat = "text";
+  /// Tracks whether the flag was given explicitly, for conflict checks.
+  bool LintFormatGiven = false;
+  bool QueryGiven = false;
 
   /// True when any resource-governor flag was given: only then do the
   /// degradation exit codes (3-6) apply, so ungoverned invocations keep
@@ -94,6 +104,12 @@ int usage(const char *Argv0) {
       "  --query=<q>            labels (root label set, default) |\n"
       "                         all-labels | effects | called-once |\n"
       "                         klimited:K | callgraph | dead-code\n"
+      "  --lint[=p1,p2,...]     run the checker passes (docs/LINT.md)\n"
+      "                         instead of a query; default all of:\n"
+      "                         dead-function, unused-binding,\n"
+      "                         applied-non-function, called-once,\n"
+      "                         impure-in-pure, escaping-function\n"
+      "  --lint-format=<f>      text (default) | json | sarif\n"
       "  --congruence=<c>       none | bytype (default) | bybase\n"
       "  --policy=<p>           paper (default) | nodeexists | undemanded\n"
       "  --frozen               serve queries from a frozen CSR snapshot\n"
@@ -118,7 +134,8 @@ int usage(const char *Argv0) {
       "  0  success             1  input error        2  usage/flag error\n"
       "  3  deadline/cancelled  4  served by standard-cubic fallback\n"
       "  5  served by bounded partial answer\n"
-      "  6  budget exhausted with no degradation permitted\n",
+      "  6  budget exhausted with no degradation permitted\n"
+      "  7  lint findings at error severity (--lint only)\n",
       Argv0);
   return 2;
 }
@@ -248,8 +265,31 @@ int main(int Argc, char **Argv) {
       Opts.Corpus = A.substr(9);
     else if (startsWith(A, "--analysis="))
       Opts.Analysis = A.substr(11);
-    else if (startsWith(A, "--query="))
+    else if (startsWith(A, "--query=")) {
       Opts.Query = A.substr(8);
+      Opts.QueryGiven = true;
+    } else if (A == "--lint")
+      Opts.Lint = true;
+    else if (startsWith(A, "--lint=")) {
+      Opts.Lint = true;
+      std::string List = A.substr(7);
+      for (size_t Pos = 0; Pos <= List.size();) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        if (Comma > Pos)
+          Opts.LintPasses.push_back(List.substr(Pos, Comma - Pos));
+        Pos = Comma + 1;
+      }
+      if (Opts.LintPasses.empty()) {
+        std::fprintf(stderr, "error: --lint= expects a pass list; plain "
+                             "--lint runs every pass\n");
+        return 2;
+      }
+    } else if (startsWith(A, "--lint-format=")) {
+      Opts.LintFormat = A.substr(14);
+      Opts.LintFormatGiven = true;
+    }
     else if (startsWith(A, "--congruence="))
       Opts.Congruence = A.substr(13);
     else if (startsWith(A, "--policy="))
@@ -359,6 +399,44 @@ int main(int Argc, char **Argv) {
                  "close phase it could bound\n",
                  Opts.Analysis.c_str());
     return 2;
+  }
+  if (Opts.LintFormatGiven && !Opts.Lint) {
+    std::fprintf(stderr,
+                 "error: --lint-format has no effect without --lint\n");
+    return 2;
+  }
+  if (Opts.Lint) {
+    if (Opts.QueryGiven) {
+      std::fprintf(stderr, "error: --lint replaces the query path; drop "
+                           "--query or --lint\n");
+      return 2;
+    }
+    if (Opts.Analysis != "subtransitive" && Opts.Analysis != "poly") {
+      std::fprintf(stderr,
+                   "error: --lint consumes the frozen subtransitive graph "
+                   "(--analysis=subtransitive|poly); --analysis=%s builds "
+                   "none\n",
+                   Opts.Analysis.c_str());
+      return 2;
+    }
+    if (Opts.LintFormat != "text" && Opts.LintFormat != "json" &&
+        Opts.LintFormat != "sarif") {
+      std::fprintf(stderr,
+                   "error: --lint-format expects text|json|sarif, got '%s'\n",
+                   Opts.LintFormat.c_str());
+      return 2;
+    }
+    for (const std::string &Id : Opts.LintPasses)
+      if (!LintEngine::findPass(Id)) {
+        std::string Known;
+        for (const LintPassInfo &P : LintEngine::passes())
+          Known += (Known.empty() ? "" : ", ") + std::string(P.Id);
+        std::fprintf(stderr, "error: unknown lint pass '%s' (known: %s)\n",
+                     Id.c_str(), Known.c_str());
+        return 2;
+      }
+    // Lint serves from the CSR snapshot; freezing is part of the mode.
+    Opts.Frozen = true;
   }
 
   // Exporter lives on main's stack so every later return path — governed
@@ -575,6 +653,44 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: --dump-graph requires a graph analysis\n");
       return 1;
     }
+  }
+
+  // `--lint`: run the checker passes over the frozen graph and render;
+  // replaces the query path entirely (validated above).
+  if (Opts.Lint) {
+    const SubtransitiveGraph *G = R.graph();
+    const FrozenGraph *F = R.frozen();
+    if (!G || !F || !F->status().isOk()) {
+      std::fprintf(stderr,
+                   "error: --lint requires a frozen subtransitive graph\n");
+      return 1;
+    }
+    LintEngine Lint(*G, *F);
+    LintOptions LO;
+    LO.Passes = Opts.LintPasses;
+    LO.D = D;
+    LO.Threads = Opts.Threads;
+    Timer LintTimer;
+    LintResult LR = Lint.run(LO);
+    std::string InputName =
+        !Opts.InputFile.empty() && Opts.InputFile != "-" ? Opts.InputFile
+        : !Opts.Corpus.empty() ? "corpus:" + Opts.Corpus
+                               : "stdin";
+    std::string Rendered = Opts.LintFormat == "json"
+                               ? renderLintJson(LR, InputName)
+                           : Opts.LintFormat == "sarif"
+                               ? renderLintSarif(LR, InputName)
+                               : renderLintText(LR, InputName);
+    std::fputs(Rendered.c_str(), stdout);
+    if (Opts.Stats)
+      std::printf("lint: %u pass(es) in %.3f ms\n",
+                  (unsigned)LR.Reports.size(), LintTimer.millis());
+    // Error-severity findings outrank the governed partial-result code.
+    if (LR.NumErrors > 0)
+      return 7;
+    if (LR.anyPartial() && Opts.governed())
+      return 3;
+    return ExitCode;
   }
 
   Timer QueryTimer;

@@ -1,0 +1,67 @@
+//===-- lint/LintDiagnostic.h - Structured lint findings --------*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured finding record shared by every checker pass and by the
+/// text/JSON/SARIF renderers.  A finding carries the rule id of the pass
+/// that produced it, a severity, the primary source span, a message, and
+/// an optional chain of notes pointing at related program points (the
+/// only call site, the value that makes a call go wrong, ...).
+///
+/// Severities map onto SARIF 2.1.0 `level` values one-to-one; the driver
+/// exit code is decided by the highest severity present (see
+/// docs/LINT.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_LINT_LINTDIAGNOSTIC_H
+#define STCFA_LINT_LINTDIAGNOSTIC_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace stcfa {
+
+/// Severity of a lint finding, ordered from least to most severe.
+enum class LintSeverity : uint8_t { Note, Warning, Error };
+
+/// SARIF/`--lint-format=text` spelling: "note", "warning", "error".
+inline const char *lintSeverityName(LintSeverity S) {
+  switch (S) {
+  case LintSeverity::Note:
+    return "note";
+  case LintSeverity::Warning:
+    return "warning";
+  case LintSeverity::Error:
+    return "error";
+  }
+  return "note";
+}
+
+/// A secondary location attached to a finding ("the only call site is
+/// here").  Renders as a SARIF `relatedLocation`.
+struct LintNote {
+  SourceRange Range;
+  std::string Message;
+};
+
+/// One finding produced by a checker pass.
+struct LintDiagnostic {
+  /// The rule id (equal to the pass id, e.g. "dead-function").
+  std::string RuleId;
+  LintSeverity Severity = LintSeverity::Warning;
+  /// Primary span; may be degenerate (point only) or invalid for
+  /// programmatically built ASTs.
+  SourceRange Range;
+  std::string Message;
+  std::vector<LintNote> Notes;
+};
+
+} // namespace stcfa
+
+#endif // STCFA_LINT_LINTDIAGNOSTIC_H

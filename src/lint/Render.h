@@ -1,0 +1,46 @@
+//===-- lint/Render.h - Text/JSON/SARIF diagnostic renderers ----*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialises a `LintResult` for human and machine consumers:
+///
+///  * text  — `file:line:col-line:col: severity: message [rule]` lines
+///            with indented notes, then a one-line summary;
+///  * json  — the project's own stable shape (per-pass reports with
+///            status/partial/millis plus a severity summary);
+///  * sarif — a minimal but valid SARIF 2.1.0 log: one run, one rule per
+///            registered pass, one result per finding, notes as
+///            `relatedLocations`, partial-pass ids under
+///            `invocations[0].properties.partialPasses`.
+///
+/// Columns follow the repo-wide convention (support/Diagnostics.h): both
+/// line and column are 1-based and `End` is exclusive, which is exactly
+/// SARIF's `endColumn` semantics, so spans pass through untranslated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_LINT_RENDER_H
+#define STCFA_LINT_RENDER_H
+
+#include "lint/LintEngine.h"
+
+#include <string>
+#include <string_view>
+
+namespace stcfa {
+
+/// Human-readable rendering; \p InputName prefixes every location.
+std::string renderLintText(const LintResult &R, std::string_view InputName);
+
+/// The project JSON shape (docs/LINT.md).
+std::string renderLintJson(const LintResult &R, std::string_view InputName);
+
+/// SARIF 2.1.0.  \p InputName becomes the artifact URI.
+std::string renderLintSarif(const LintResult &R, std::string_view InputName);
+
+} // namespace stcfa
+
+#endif // STCFA_LINT_RENDER_H

@@ -68,10 +68,13 @@ enum class TokenKind : uint8_t {
   Assign, // :=
 };
 
-/// One token with its source range start.
+/// One token with its full source range.
 struct Token {
   TokenKind Kind = TokenKind::Eof;
   SourceLoc Loc;
+  /// One past the token's last character (exclusive, like
+  /// `SourceRange::End`); equals `Loc` only for the Eof token.
+  SourceLoc End;
   /// Identifier / string text (unescaped) when applicable.
   std::string_view Text;
   /// Integer value for `Int` tokens.
@@ -94,8 +97,10 @@ private:
   char advance();
   void skipTrivia();
   SourceLoc here() const { return {Line, Col}; }
+  /// Called after the token's characters were consumed, so `here()` is the
+  /// exclusive end position.
   Token make(TokenKind Kind, SourceLoc Loc, std::string_view Text = {}) {
-    return {Kind, Loc, Text, 0};
+    return {Kind, Loc, here(), Text, 0};
   }
 
   std::string_view Source;

@@ -30,7 +30,21 @@ public:
 private:
   //===--- token plumbing --------------------------------------------------//
 
-  void bump() { Tok = Lex.next(); }
+  void bump() {
+    // Track the end of the last consumed token: when a production
+    // finishes, `PrevEnd` is the exclusive end of its source extent.
+    PrevEnd = Tok.End;
+    Tok = Lex.next();
+  }
+
+  /// Stamps \p E's end position with the end of the last consumed token.
+  /// Every `M->make*` result funnels through here so all parsed
+  /// expressions carry a full `[start, end)` span.
+  ExprId fin(ExprId E) {
+    if (E.isValid() && PrevEnd.isValid())
+      M->setExprEnd(E, PrevEnd);
+    return E;
+  }
 
   bool at(TokenKind K) const { return Tok.Kind == K; }
 
@@ -49,7 +63,7 @@ private:
 
   void fail(std::string Message) {
     if (!Failed)
-      Diags.error(Tok.Loc, std::move(Message));
+      Diags.errorRange({Tok.Loc, Tok.End}, std::move(Message));
     Failed = true;
   }
 
@@ -157,6 +171,8 @@ private:
   Lexer Lex;
   DiagnosticEngine &Diags;
   Token Tok;
+  /// Exclusive end position of the last token `bump()` consumed.
+  SourceLoc PrevEnd;
   uint32_t Depth = 0;
   bool Failed = false;
   std::unique_ptr<Module> M = std::make_unique<Module>();
@@ -204,10 +220,10 @@ std::unique_ptr<Module> ParserImpl::run() {
         break;
       for (size_t I = Names.size(); I != 0; --I)
         unbindVar(Names[I - 1]);
-      Final = GroupBindings.size() == 1
-                  ? M->makeLet(Loc, GroupBindings[0].Var,
-                               GroupBindings[0].Init, Body, /*IsRec=*/true)
-                  : M->makeLetRecN(Loc, std::move(GroupBindings), Body);
+      Final = fin(GroupBindings.size() == 1
+                      ? M->makeLet(Loc, GroupBindings[0].Var,
+                                   GroupBindings[0].Init, Body, /*IsRec=*/true)
+                      : M->makeLetRecN(Loc, std::move(GroupBindings), Body));
       break;
     }
     if (at(TokenKind::KwLet)) {
@@ -235,7 +251,7 @@ std::unique_ptr<Module> ParserImpl::run() {
       if (Failed)
         break;
       unbindVar(Name);
-      Final = M->makeLet(Loc, Var, Init, Body, /*IsRec=*/false);
+      Final = fin(M->makeLet(Loc, Var, Init, Body, /*IsRec=*/false));
       break;
     }
     Final = parseExpr();
@@ -266,11 +282,12 @@ std::unique_ptr<Module> ParserImpl::run() {
   // innermost last.
   for (size_t I = Bindings.size(); I != 0; --I) {
     TopBinding &B = Bindings[I - 1];
+    // The folded lets span to the end of the program body.
     if (B.Group.size() == 1)
-      Final = M->makeLet(B.Loc, B.Group[0].Var, B.Group[0].Init, Final,
-                         B.IsRec);
+      Final = fin(M->makeLet(B.Loc, B.Group[0].Var, B.Group[0].Init, Final,
+                             B.IsRec));
     else
-      Final = M->makeLetRecN(B.Loc, std::move(B.Group), Final);
+      Final = fin(M->makeLetRecN(B.Loc, std::move(B.Group), Final));
   }
   M->setRoot(Final);
   return std::move(M);
@@ -501,7 +518,7 @@ ExprId ParserImpl::parseExprImpl() {
     unbindVar(Name);
     if (Failed)
       return ExprId::invalid();
-    return M->makeLam(Loc, Param, Body);
+    return fin(M->makeLam(Loc, Param, Body));
   }
 
   if (at(TokenKind::KwLetRec)) {
@@ -517,9 +534,9 @@ ExprId ParserImpl::parseExprImpl() {
     if (Failed)
       return ExprId::invalid();
     if (Bindings.size() == 1)
-      return M->makeLet(Loc, Bindings[0].Var, Bindings[0].Init, Body,
-                        /*IsRec=*/true);
-    return M->makeLetRecN(Loc, std::move(Bindings), Body);
+      return fin(M->makeLet(Loc, Bindings[0].Var, Bindings[0].Init, Body,
+                            /*IsRec=*/true));
+    return fin(M->makeLetRecN(Loc, std::move(Bindings), Body));
   }
 
   if (at(TokenKind::KwLet)) {
@@ -540,7 +557,7 @@ ExprId ParserImpl::parseExprImpl() {
     unbindVar(Name);
     if (Failed)
       return ExprId::invalid();
-    return M->makeLet(Loc, Var, Init, Body, /*IsRec=*/false);
+    return fin(M->makeLet(Loc, Var, Init, Body, /*IsRec=*/false));
   }
 
   if (eat(TokenKind::KwIf)) {
@@ -553,7 +570,7 @@ ExprId ParserImpl::parseExprImpl() {
     ExprId Else = parseExpr();
     if (Failed)
       return ExprId::invalid();
-    return M->makeIf(Loc, Cond, Then, Else);
+    return fin(M->makeIf(Loc, Cond, Then, Else));
   }
 
   return parseAssign();
@@ -563,14 +580,13 @@ ExprId ParserImpl::parseAssign() {
   ExprId Left = parseCompare();
   if (Failed)
     return ExprId::invalid();
-  SourceLoc Loc = Tok.Loc;
   if (eat(TokenKind::Assign)) {
     // The right-hand side of `:=` admits full expressions (`r := fn x => x`
     // is common ML style).
     ExprId Right = parseExpr();
     if (Failed)
       return ExprId::invalid();
-    return M->makePrim(Loc, PrimOp::RefSet, {Left, Right});
+    return fin(M->makePrim(M->expr(Left)->loc(), PrimOp::RefSet, {Left, Right}));
   }
   return Left;
 }
@@ -588,24 +604,22 @@ ExprId ParserImpl::parseCompare() {
     Op = PrimOp::Eq;
   else
     return Left;
-  SourceLoc Loc = Tok.Loc;
   bump();
   ExprId Right = parseAdditive();
   if (Failed)
     return ExprId::invalid();
-  return M->makePrim(Loc, Op, {Left, Right});
+  return fin(M->makePrim(M->expr(Left)->loc(), Op, {Left, Right}));
 }
 
 ExprId ParserImpl::parseAdditive() {
   ExprId Left = parseMultiplicative();
   while (!Failed && (at(TokenKind::Plus) || at(TokenKind::Minus))) {
     PrimOp Op = at(TokenKind::Plus) ? PrimOp::Add : PrimOp::Sub;
-    SourceLoc Loc = Tok.Loc;
-    bump();
+        bump();
     ExprId Right = parseMultiplicative();
     if (Failed)
       return ExprId::invalid();
-    Left = M->makePrim(Loc, Op, {Left, Right});
+    Left = fin(M->makePrim(M->expr(Left)->loc(), Op, {Left, Right}));
   }
   return Failed ? ExprId::invalid() : Left;
 }
@@ -614,12 +628,11 @@ ExprId ParserImpl::parseMultiplicative() {
   ExprId Left = parseApps();
   while (!Failed && (at(TokenKind::Star) || at(TokenKind::Slash))) {
     PrimOp Op = at(TokenKind::Star) ? PrimOp::Mul : PrimOp::Div;
-    SourceLoc Loc = Tok.Loc;
-    bump();
+        bump();
     ExprId Right = parseApps();
     if (Failed)
       return ExprId::invalid();
-    Left = M->makePrim(Loc, Op, {Left, Right});
+    Left = fin(M->makePrim(M->expr(Left)->loc(), Op, {Left, Right}));
   }
   return Failed ? ExprId::invalid() : Left;
 }
@@ -627,11 +640,10 @@ ExprId ParserImpl::parseMultiplicative() {
 ExprId ParserImpl::parseApps() {
   ExprId Left = parsePrefix();
   while (!Failed && startsOperand()) {
-    SourceLoc Loc = Tok.Loc;
-    ExprId Arg = parsePrefix();
+        ExprId Arg = parsePrefix();
     if (Failed)
       return ExprId::invalid();
-    Left = M->makeApp(Loc, Left, Arg);
+    Left = fin(M->makeApp(M->expr(Left)->loc(), Left, Arg));
   }
   return Failed ? ExprId::invalid() : Left;
 }
@@ -658,7 +670,7 @@ ExprId ParserImpl::parsePrefix() {
   leave();
   if (Failed)
     return ExprId::invalid();
-  return M->makePrim(Loc, Op, {Arg});
+  return fin(M->makePrim(Loc, Op, {Arg}));
 }
 
 ExprId ParserImpl::parseAtom() {
@@ -675,7 +687,7 @@ ExprId ParserImpl::parseAtom() {
       // member; defer resolution to the group close.
       if (!PendingGroups.empty()) {
         bump();
-        ExprId Ref = M->makeVarRef(Loc, VarId::invalid());
+        ExprId Ref = fin(M->makeVarRef(Loc, VarId::invalid()));
         PendingGroups.back().push_back({Ref, Name, Loc});
         return Ref;
       }
@@ -683,7 +695,7 @@ ExprId ParserImpl::parseAtom() {
       return ExprId::invalid();
     }
     bump();
-    return M->makeVarRef(Loc, Var);
+    return fin(M->makeVarRef(Loc, Var));
   }
   case TokenKind::UIdent: {
     Symbol Name = M->sym(Tok.Text);
@@ -710,27 +722,27 @@ ExprId ParserImpl::parseAtom() {
     }
     if (Failed)
       return ExprId::invalid();
-    return M->makeCon(Loc, Con, std::move(Args));
+    return fin(M->makeCon(Loc, Con, std::move(Args)));
   }
   case TokenKind::Int: {
     int64_t Value = Tok.IntValue;
     bump();
-    return M->makeIntLit(Loc, Value);
+    return fin(M->makeIntLit(Loc, Value));
   }
   case TokenKind::String: {
     Symbol S = M->sym(Tok.Text);
     bump();
-    return M->makeStringLit(Loc, S);
+    return fin(M->makeStringLit(Loc, S));
   }
   case TokenKind::KwTrue:
     bump();
-    return M->makeBoolLit(Loc, true);
+    return fin(M->makeBoolLit(Loc, true));
   case TokenKind::KwFalse:
     bump();
-    return M->makeBoolLit(Loc, false);
+    return fin(M->makeBoolLit(Loc, false));
   case TokenKind::KwUnit:
     bump();
-    return M->makeUnitLit(Loc);
+    return fin(M->makeUnitLit(Loc));
   case TokenKind::Hash: {
     bump();
     if (!at(TokenKind::Int) || Tok.IntValue < 1) {
@@ -746,7 +758,7 @@ ExprId ParserImpl::parseAtom() {
     leave();
     if (Failed)
       return ExprId::invalid();
-    return M->makeProj(Loc, Index, Tuple);
+    return fin(M->makeProj(Loc, Index, Tuple));
   }
   case TokenKind::KwCase:
     bump();
@@ -813,12 +825,12 @@ ExprId ParserImpl::parseCase(SourceLoc Loc) {
   expect(TokenKind::KwEnd, "'end'");
   if (Failed)
     return ExprId::invalid();
-  return M->makeCase(Loc, Scrutinee, std::move(Arms));
+  return fin(M->makeCase(Loc, Scrutinee, std::move(Arms)));
 }
 
 ExprId ParserImpl::parseParenOrTuple(SourceLoc Loc) {
   if (eat(TokenKind::RParen))
-    return M->makeUnitLit(Loc);
+    return fin(M->makeUnitLit(Loc));
   std::vector<ExprId> Elems;
   do {
     Elems.push_back(parseExpr());
@@ -830,7 +842,7 @@ ExprId ParserImpl::parseParenOrTuple(SourceLoc Loc) {
     return ExprId::invalid();
   if (Elems.size() == 1)
     return Elems[0];
-  return M->makeTuple(Loc, std::move(Elems));
+  return fin(M->makeTuple(Loc, std::move(Elems)));
 }
 
 // Case-arm body precedence note: arm bodies parse at `assign` level, so an
