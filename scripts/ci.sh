@@ -35,8 +35,25 @@ run_preset() {
 }
 
 # Tier 1: the default build runs every registered test (unit, fuzz,
-# bench-smoke, lint-smoke, examples).
+# bench-smoke, lint-smoke, snapshot-smoke, examples).
 run_preset build ""
+
+# Snapshot round trip across *processes*: one driver invocation writes a
+# snapshot, a second serves the same query from the mapped file, and the
+# outputs must be byte-identical (docs/SNAPSHOT.md).  The in-process
+# equivalence tests cannot catch a format field that only one process
+# interprets; this stage can.  The unit-tier snapshot tests also rerun
+# under the ASan/UBSan and TSan presets below.
+echo "=== snapshot cross-process round trip ==="
+SNAP_DIR=$(mktemp -d)
+trap 'rm -rf "${SNAP_DIR}"' EXIT
+./build/src/driver/stcfa --corpus=cubic:50 \
+  --save-snapshot="${SNAP_DIR}/cubic50.snap" --query=all-labels \
+  > "${SNAP_DIR}/write.out"
+./build/src/driver/stcfa --load-snapshot="${SNAP_DIR}/cubic50.snap" \
+  --query=all-labels > "${SNAP_DIR}/load.out"
+diff "${SNAP_DIR}/write.out" "${SNAP_DIR}/load.out"
+echo "snapshot round trip: outputs byte-identical across processes"
 
 # Static analysis: clang-tidy over the lint subsystem and its driver
 # wiring (.clang-tidy at the repo root picks the check families).  Scoped

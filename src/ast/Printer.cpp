@@ -306,3 +306,13 @@ std::string stcfa::describeExpr(const Module &M, ExprId E) {
            std::to_string(Ex->loc().Col) + ")";
   return Out;
 }
+
+std::string stcfa::describeLabel(const Module &M, LabelId L) {
+  const auto *Lam = cast<LamExpr>(M.expr(M.lamOfLabel(L)));
+  std::string Out = "fn#" + std::to_string(L.index()) + "(";
+  Out += M.text(M.var(Lam->param()).Name);
+  SourceLoc Loc = M.expr(M.lamOfLabel(L))->loc();
+  if (Loc.isValid())
+    Out += "@" + std::to_string(Loc.Line) + ":" + std::to_string(Loc.Col);
+  return Out + ")";
+}

@@ -31,6 +31,11 @@ std::string printProgram(const Module &M);
 /// diagnostics, e.g. `app@12(3:7)`.
 std::string describeExpr(const Module &M, ExprId E);
 
+/// Renders an abstraction label as the driver and snapshot writer print
+/// it, e.g. `fn#3(x@2:9)` — shared so persisted name tables match the
+/// in-memory rendering byte for byte.
+std::string describeLabel(const Module &M, LabelId L);
+
 } // namespace stcfa
 
 #endif // STCFA_AST_PRINTER_H

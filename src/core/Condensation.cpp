@@ -94,16 +94,18 @@ struct CsrRow {
 } // namespace
 
 Condensation::Condensation(uint32_t NumNodes,
-                           const std::vector<uint32_t> &Offsets,
-                           const std::vector<uint32_t> &Targets) {
+                           std::span<const uint32_t> Offsets,
+                           std::span<const uint32_t> Targets) {
   const uint32_t *Base = Targets.data();
   NumSccs = tarjan(
       NumNodes,
       [&](uint32_t N) { return CsrRow{Base + Offsets[N], Base + Offsets[N + 1]}; },
-      SccOf);
+      Owned);
+  SccOf = Owned;
 }
 
 Condensation::Condensation(const SubtransitiveGraph &G) {
   NumSccs = tarjan(
-      G.numNodes(), [&](uint32_t N) { return G.succs(NodeId(N)); }, SccOf);
+      G.numNodes(), [&](uint32_t N) { return G.succs(NodeId(N)); }, Owned);
+  SccOf = Owned;
 }

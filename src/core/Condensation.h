@@ -16,12 +16,18 @@
 /// successors of a component finalized before the component itself
 /// (reverse topological order of the condensed DAG).
 ///
+/// The node -> component map may be *adopted* instead of computed: a
+/// persisted snapshot (src/snapshot/) stores the map verbatim, and the
+/// mmap-backed `FrozenGraph` view wraps the mapped array without copying
+/// it, so warm loads skip the Tarjan pass entirely.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STCFA_CORE_CONDENSATION_H
 #define STCFA_CORE_CONDENSATION_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace stcfa {
@@ -33,11 +39,17 @@ class Condensation {
 public:
   /// Condenses the forward CSR `(Offsets, Targets)`: the successors of
   /// node `N` are `Targets[Offsets[N] .. Offsets[N + 1])`.
-  Condensation(uint32_t NumNodes, const std::vector<uint32_t> &Offsets,
-               const std::vector<uint32_t> &Targets);
+  Condensation(uint32_t NumNodes, std::span<const uint32_t> Offsets,
+               std::span<const uint32_t> Targets);
 
   /// Condenses a closed subtransitive graph's intrusive adjacency.
   explicit Condensation(const SubtransitiveGraph &G);
+
+  /// Adopts a precomputed node -> component map (a snapshot section)
+  /// without copying; \p Map must outlive this object and satisfy the
+  /// reverse-topological id invariant above.
+  Condensation(std::span<const uint32_t> Map, uint32_t NumSccs)
+      : SccOf(Map), NumSccs(NumSccs) {}
 
   uint32_t numNodes() const { return static_cast<uint32_t>(SccOf.size()); }
   uint32_t numSccs() const { return NumSccs; }
@@ -47,10 +59,13 @@ public:
   uint32_t sccOf(uint32_t N) const { return SccOf[N]; }
 
   /// The full node -> component map.
-  const std::vector<uint32_t> &map() const { return SccOf; }
+  std::span<const uint32_t> map() const { return SccOf; }
 
 private:
-  std::vector<uint32_t> SccOf;
+  /// Backing storage when the map is computed here; empty when adopted.
+  std::vector<uint32_t> Owned;
+  /// The map itself: views `Owned` or an external (mmap-backed) array.
+  std::span<const uint32_t> SccOf;
   uint32_t NumSccs = 0;
 };
 

@@ -21,8 +21,11 @@ FrozenGraph::FrozenGraph(const SubtransitiveGraph &G)
   assert(!G.aborted() && "an aborted graph must not be frozen");
 }
 
-FrozenGraph::FrozenGraph(const SubtransitiveGraph &G, const Deadline &D)
-    : G(G), M(G.module()) {
+FrozenGraph::FrozenGraph(const SubtransitiveGraph &Src, const Deadline &D)
+    : G(&Src), M(&Src.module()) {
+  NumExprs = M->numExprs();
+  NumVars = M->numVars();
+  NumLabels = M->numLabels();
   FreezeStatus = init(D);
   if (!FreezeStatus.isOk())
     resetToInert();
@@ -38,20 +41,74 @@ std::unique_ptr<FrozenGraph> FrozenGraph::freeze(const SubtransitiveGraph &G,
   return F;
 }
 
+std::unique_ptr<FrozenGraph> FrozenGraph::fromTables(const Tables &T) {
+  auto F = std::unique_ptr<FrozenGraph>(new FrozenGraph());
+  F->NumNodes = T.NumNodes;
+  F->NumExprs = T.NumExprs;
+  F->NumVars = T.NumVars;
+  F->NumLabels = T.NumLabels;
+  F->OutOffsets = T.OutOffsets;
+  F->OutTargets = T.OutTargets;
+  F->InOffsets = T.InOffsets;
+  F->InTargets = T.InTargets;
+  F->LabelAt = T.LabelAt;
+  F->Op = T.Ops;
+  F->NodeOfExpr = T.NodeOfExpr;
+  F->NodeOfVar = T.NodeOfVar;
+  F->LabelRoots = T.LabelRoots;
+  // Adopt the persisted condensation so warm loads never pay the Tarjan
+  // pass; consumers hit the usual `condensation()` cache path.
+  if (T.SccOf.size() == T.NumNodes)
+    std::call_once(F->CondOnce, [&F, &T] {
+      F->Cond = std::make_unique<Condensation>(T.SccOf, T.NumSccs);
+    });
+  return F;
+}
+
+FrozenGraph::Tables FrozenGraph::tables() const {
+  Tables T;
+  T.NumNodes = NumNodes;
+  T.NumExprs = NumExprs;
+  T.NumVars = NumVars;
+  T.NumLabels = NumLabels;
+  T.OutOffsets = OutOffsets;
+  T.OutTargets = OutTargets;
+  T.InOffsets = InOffsets;
+  T.InTargets = InTargets;
+  T.LabelAt = LabelAt;
+  T.Ops = Op;
+  T.NodeOfExpr = NodeOfExpr;
+  T.NodeOfVar = NodeOfVar;
+  T.LabelRoots = LabelRoots;
+  const Condensation &C = condensation();
+  T.SccOf = C.map();
+  T.NumSccs = C.numSccs();
+  return T;
+}
+
 /// Drops every partially-built array and leaves the snapshot empty but
 /// well-defined: zero nodes, every occurrence/binder/label lookup
 /// answers "no node", so downstream queries are empty rather than UB.
 void FrozenGraph::resetToInert() {
   NumNodes = 0;
-  OutOffsets.assign(1, 0);
-  InOffsets.assign(1, 0);
-  OutTargets.clear();
-  InTargets.clear();
-  LabelAt.clear();
-  Op.clear();
-  NodeOfExpr.assign(M.numExprs(), None);
-  NodeOfVar.assign(M.numVars(), None);
-  LabelRoots.assign(2 * size_t(M.numLabels()), None);
+  OutOffsetsStore.assign(1, 0);
+  InOffsetsStore.assign(1, 0);
+  OutTargetsStore.clear();
+  InTargetsStore.clear();
+  LabelAtStore.clear();
+  OpStore.clear();
+  NodeOfExprStore.assign(NumExprs, None);
+  NodeOfVarStore.assign(NumVars, None);
+  LabelRootsStore.assign(2 * size_t(NumLabels), None);
+  OutOffsets = OutOffsetsStore;
+  OutTargets = OutTargetsStore;
+  InOffsets = InOffsetsStore;
+  InTargets = InTargetsStore;
+  LabelAt = LabelAtStore;
+  Op = OpStore;
+  NodeOfExpr = NodeOfExprStore;
+  NodeOfVar = NodeOfVarStore;
+  LabelRoots = LabelRootsStore;
 }
 
 Status FrozenGraph::init(const Deadline &D) {
@@ -69,12 +126,12 @@ Status FrozenGraph::init(const Deadline &D) {
   // An aborted close leaves the graph un-closed too, so test abortion
   // first: its diagnostic (which carries the close status) is the one the
   // caller needs.
-  if (G.aborted())
+  if (G->aborted())
     return fail(Status::failedPrecondition(
-        "an aborted graph must not be frozen: " + G.closeStatus().toString()));
-  if (!G.closed())
+        "an aborted graph must not be frozen: " + G->closeStatus().toString()));
+  if (!G->closed())
     return fail(Status::failedPrecondition("freeze before close()"));
-  NumNodes = G.numNodes();
+  NumNodes = G->numNodes();
   Timer T;
 
   // Governor checkpoint between compaction phases: each phase is one
@@ -93,83 +150,96 @@ Status FrozenGraph::init(const Deadline &D) {
   // Forward CSR: count, prefix-sum, fill.  Each row is sorted ascending
   // — queries are order-insensitive, and monotone targets keep the DFS
   // stamp accesses local.
-  OutOffsets.assign(NumNodes + 1, 0);
+  OutOffsetsStore.assign(NumNodes + 1, 0);
   for (uint32_t N = 0; N != NumNodes; ++N)
-    for (NodeId S : G.succs(NodeId(N))) {
+    for (NodeId S : G->succs(NodeId(N))) {
       (void)S;
-      ++OutOffsets[N + 1];
+      ++OutOffsetsStore[N + 1];
     }
   for (uint32_t N = 0; N != NumNodes; ++N)
-    OutOffsets[N + 1] += OutOffsets[N];
-  OutTargets.resize(OutOffsets[NumNodes]);
+    OutOffsetsStore[N + 1] += OutOffsetsStore[N];
+  OutTargetsStore.resize(OutOffsetsStore[NumNodes]);
   {
-    std::vector<uint32_t> Fill(OutOffsets.begin(), OutOffsets.end() - 1);
+    std::vector<uint32_t> Fill(OutOffsetsStore.begin(),
+                               OutOffsetsStore.end() - 1);
     for (uint32_t N = 0; N != NumNodes; ++N)
-      for (NodeId S : G.succs(NodeId(N)))
-        OutTargets[Fill[N]++] = S.index();
+      for (NodeId S : G->succs(NodeId(N)))
+        OutTargetsStore[Fill[N]++] = S.index();
   }
   for (uint32_t N = 0; N != NumNodes; ++N)
-    std::sort(OutTargets.begin() + OutOffsets[N],
-              OutTargets.begin() + OutOffsets[N + 1]);
+    std::sort(OutTargetsStore.begin() + OutOffsetsStore[N],
+              OutTargetsStore.begin() + OutOffsetsStore[N + 1]);
   if (Status S = checkpoint(); !S.isOk())
     return fail(std::move(S));
 
   // Reverse CSR, derived from the forward arrays.
-  InOffsets.assign(NumNodes + 1, 0);
-  for (uint32_t Target : OutTargets)
-    ++InOffsets[Target + 1];
+  InOffsetsStore.assign(NumNodes + 1, 0);
+  for (uint32_t Target : OutTargetsStore)
+    ++InOffsetsStore[Target + 1];
   for (uint32_t N = 0; N != NumNodes; ++N)
-    InOffsets[N + 1] += InOffsets[N];
-  InTargets.resize(OutTargets.size());
+    InOffsetsStore[N + 1] += InOffsetsStore[N];
+  InTargetsStore.resize(OutTargetsStore.size());
   {
-    std::vector<uint32_t> Fill(InOffsets.begin(), InOffsets.end() - 1);
+    std::vector<uint32_t> Fill(InOffsetsStore.begin(),
+                               InOffsetsStore.end() - 1);
     for (uint32_t N = 0; N != NumNodes; ++N)
-      for (uint32_t I = OutOffsets[N], E = OutOffsets[N + 1]; I != E; ++I)
-        InTargets[Fill[OutTargets[I]]++] = N;
+      for (uint32_t I = OutOffsetsStore[N], E = OutOffsetsStore[N + 1]; I != E;
+           ++I)
+        InTargetsStore[Fill[OutTargetsStore[I]]++] = N;
   }
   if (Status S = checkpoint(); !S.isOk())
     return fail(std::move(S));
 
   // Labels and ops hoisted into flat arrays.
-  LabelAt.resize(NumNodes);
-  Op.resize(NumNodes);
+  LabelAtStore.resize(NumNodes);
+  OpStore.resize(NumNodes);
   for (uint32_t N = 0; N != NumNodes; ++N) {
-    LabelId L = G.labelOf(NodeId(N));
-    LabelAt[N] = L.isValid() ? L.index() : None;
-    Op[N] = G.op(NodeId(N));
+    LabelId L = G->labelOf(NodeId(N));
+    LabelAtStore[N] = L.isValid() ? L.index() : None;
+    OpStore[N] = G->op(NodeId(N));
   }
 
   // Flat occurrence/binder -> node maps and per-label reverse roots.
-  NodeOfExpr.resize(M.numExprs());
-  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
-    NodeId N = G.lookupExprNode(ExprId(I));
-    NodeOfExpr[I] = N.isValid() ? N.index() : None;
+  NodeOfExprStore.resize(NumExprs);
+  for (uint32_t I = 0; I != NumExprs; ++I) {
+    NodeId N = G->lookupExprNode(ExprId(I));
+    NodeOfExprStore[I] = N.isValid() ? N.index() : None;
   }
-  NodeOfVar.resize(M.numVars());
-  for (uint32_t I = 0, E = M.numVars(); I != E; ++I) {
-    NodeId N = G.lookupVarNode(VarId(I));
-    NodeOfVar[I] = N.isValid() ? N.index() : None;
+  NodeOfVarStore.resize(NumVars);
+  for (uint32_t I = 0; I != NumVars; ++I) {
+    NodeId N = G->lookupVarNode(VarId(I));
+    NodeOfVarStore[I] = N.isValid() ? N.index() : None;
   }
-  LabelRoots.resize(2 * size_t(M.numLabels()), None);
-  for (uint32_t L = 0, E = M.numLabels(); L != E; ++L) {
-    NodeId Lam = G.lookupExprNode(M.lamOfLabel(LabelId(L)));
-    NodeId Carrier = G.lookupLabelNode(LabelId(L));
-    LabelRoots[2 * L] = Lam.isValid() ? Lam.index() : None;
-    LabelRoots[2 * L + 1] = Carrier.isValid() ? Carrier.index() : None;
+  LabelRootsStore.assign(2 * size_t(NumLabels), None);
+  for (uint32_t L = 0; L != NumLabels; ++L) {
+    NodeId Lam = G->lookupExprNode(M->lamOfLabel(LabelId(L)));
+    NodeId Carrier = G->lookupLabelNode(LabelId(L));
+    LabelRootsStore[2 * L] = Lam.isValid() ? Lam.index() : None;
+    LabelRootsStore[2 * L + 1] = Carrier.isValid() ? Carrier.index() : None;
   }
+
+  OutOffsets = OutOffsetsStore;
+  OutTargets = OutTargetsStore;
+  InOffsets = InOffsetsStore;
+  InTargets = InTargetsStore;
+  LabelAt = LabelAtStore;
+  Op = OpStore;
+  NodeOfExpr = NodeOfExprStore;
+  NodeOfVar = NodeOfVarStore;
+  LabelRoots = LabelRootsStore;
 
   FreezeMs = T.millis();
   Millis.observe(static_cast<uint64_t>(FreezeMs));
   FreezeSpan.arg("nodes", NumNodes);
-  FreezeSpan.arg("edges", OutTargets.size());
+  FreezeSpan.arg("edges", OutTargetsStore.size());
   FreezeSpan.arg("status", statusCodeName(StatusCode::Ok));
   return Status::ok();
 }
 
 uint32_t FrozenGraph::portOf(NodeOp PortOp, uint32_t Base, uint32_t Tag) const {
-  if (Base >= NumNodes)
+  if (!G || Base >= NumNodes)
     return None;
-  NodeId N = G.lookupDerived(PortOp, NodeId(Base), Tag);
+  NodeId N = G->lookupDerived(PortOp, NodeId(Base), Tag);
   // Nodes the source grew after the freeze (incremental/polyvariant
   // additions) have no CSR rows here; treat them as absent.
   return N.isValid() && N.index() < NumNodes ? N.index() : None;
@@ -200,7 +270,7 @@ void FrozenGraph::buildSccLabels() const {
   std::vector<std::vector<uint32_t>> NodesOfScc(NumSccs);
   for (uint32_t N = 0; N != NumNodes; ++N)
     NodesOfScc[Cond->sccOf(N)].push_back(N);
-  SccLabels.assign(NumSccs, DenseBitset(M.numLabels()));
+  SccLabels.assign(NumSccs, DenseBitset(NumLabels));
   for (uint32_t Scc = 0; Scc != NumSccs; ++Scc) {
     DenseBitset &Set = SccLabels[Scc];
     for (uint32_t N : NodesOfScc[Scc]) {

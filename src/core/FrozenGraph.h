@@ -20,6 +20,15 @@
 ///   * an optional SCC condensation plus per-component label sets,
 ///     built once on first use and cached across queries.
 ///
+/// Storage seam: every array accessor reads a `std::span` view.  A
+/// snapshot frozen from a graph backs those views with its own vectors;
+/// an mmap-backed view (`fromTables`, built by the snapshot loader in
+/// src/snapshot/) points them straight into a read-only file mapping with
+/// zero deserialization.  `QueryEngine`, the label-set kernel, and every
+/// other query-side consumer work against either form unchanged; only
+/// `module()`/`source()` (and the cold-path `portOf`) need the owning
+/// pipeline — guard those behind `hasSource()`.
+///
 /// Freeze invariants: freeze only after `close()`, never after
 /// `aborted()`.  The governed entry point is the `freeze()` factory,
 /// which reports violations (and deadline expiry / injected faults mid
@@ -62,6 +71,21 @@ public:
   /// Node/label sentinel: "no such node / no label here".
   static constexpr uint32_t None = ~0u;
 
+  /// The complete flat-table contents of a snapshot, as spans: the seam
+  /// between an owned snapshot (spans into its vectors) and an
+  /// mmap-backed view (spans into a read-only mapping).  `tables()`
+  /// exports them (the snapshot writer's input) and `fromTables` adopts
+  /// them (the snapshot loader's output).
+  struct Tables {
+    uint32_t NumNodes = 0, NumExprs = 0, NumVars = 0, NumLabels = 0;
+    std::span<const uint32_t> OutOffsets, OutTargets, InOffsets, InTargets;
+    std::span<const uint32_t> LabelAt, NodeOfExpr, NodeOfVar, LabelRoots;
+    std::span<const NodeOp> Ops;
+    /// The Tarjan condensation map (`SccOf.size() == NumNodes`).
+    std::span<const uint32_t> SccOf;
+    uint32_t NumSccs = 0;
+  };
+
   /// Freezes \p G.  Requires `G.closed() && !G.aborted()` (debug
   /// assert); in release builds a violation produces an empty, inert
   /// snapshot with `status()` set instead of UB.
@@ -80,14 +104,41 @@ public:
                                              Status &Out,
                                              const Deadline &D = {});
 
+  /// Wraps externally owned tables — the snapshot loader's mmap — with
+  /// zero copying; \p T's storage must outlive the returned snapshot.
+  /// The view has no source graph or module (`hasSource()` is false):
+  /// every query-side accessor works, the condensation is adopted from
+  /// `T.SccOf` instead of recomputed, and `portOf` answers `None`.
+  static std::unique_ptr<FrozenGraph> fromTables(const Tables &T);
+
+  /// This snapshot's tables as spans (the snapshot writer's input).
+  /// Materialises the cached condensation if it has not been forced yet.
+  Tables tables() const;
+
   /// `Ok` for a usable snapshot; the failure reason for an inert one.
   const Status &status() const { return FreezeStatus; }
 
-  const Module &module() const { return M; }
-  const SubtransitiveGraph &source() const { return G; }
+  /// True when this snapshot was frozen from a live pipeline, so
+  /// `module()` / `source()` may be called; false for an mmap-backed
+  /// view, which carries only the flat tables.
+  bool hasSource() const { return G != nullptr; }
+
+  const Module &module() const {
+    assert(M && "mmap-backed view has no module");
+    return *M;
+  }
+  const SubtransitiveGraph &source() const {
+    assert(G && "mmap-backed view has no source graph");
+    return *G;
+  }
 
   uint32_t numNodes() const { return NumNodes; }
   uint64_t numEdges() const { return OutTargets.size(); }
+  /// Program-shape counts, captured at freeze time (or from the snapshot
+  /// meta section) so query-side consumers never need the `Module`.
+  uint32_t numExprs() const { return NumExprs; }
+  uint32_t numVars() const { return NumVars; }
+  uint32_t numLabels() const { return NumLabels; }
 
   /// Successors of node \p N (CSR row).
   std::span<const uint32_t> succs(uint32_t N) const {
@@ -127,6 +178,7 @@ public:
   /// `ran(Base)`, `field_Tag(Base)`, or `refcell(Base)` — or `None` when
   /// the port was never materialised.  Cold path (one hash lookup in the
   /// source graph); node indices in the snapshot equal source indices.
+  /// An mmap-backed view has no source graph and always answers `None`.
   uint32_t portOf(NodeOp PortOp, uint32_t Base, uint32_t Tag = 0) const;
 
   /// Multi-source reachability over the CSR rows, the primitive under
@@ -144,7 +196,8 @@ public:
   //===--- cached condensation --------------------------------------------//
 
   /// The SCC condensation, built on first use (thread-safe) and cached
-  /// across queries.
+  /// across queries; an mmap-backed view adopts it from the snapshot
+  /// instead of recomputing.
   const Condensation &condensation() const;
 
   /// Per-component label sets in reverse topological order, cached with
@@ -153,21 +206,30 @@ public:
   const std::vector<DenseBitset> &sccLabelSets() const;
 
 private:
+  FrozenGraph() = default; // the `fromTables` view path
+
   Status init(const Deadline &D);
   void resetToInert();
   void buildSccLabels() const;
 
-  const SubtransitiveGraph &G;
-  const Module &M;
-  uint32_t NumNodes = 0;
+  const SubtransitiveGraph *G = nullptr; // null for an mmap-backed view
+  const Module *M = nullptr;             // null for an mmap-backed view
+  uint32_t NumNodes = 0, NumExprs = 0, NumVars = 0, NumLabels = 0;
   Status FreezeStatus;
 
-  std::vector<uint32_t> OutOffsets, OutTargets;
-  std::vector<uint32_t> InOffsets, InTargets;
-  std::vector<uint32_t> LabelAt;
-  std::vector<NodeOp> Op;
-  std::vector<uint32_t> NodeOfExpr, NodeOfVar;
-  std::vector<uint32_t> LabelRoots;
+  // Owned backing for the freeze path; empty for an mmap-backed view.
+  std::vector<uint32_t> OutOffsetsStore, OutTargetsStore;
+  std::vector<uint32_t> InOffsetsStore, InTargetsStore;
+  std::vector<uint32_t> LabelAtStore;
+  std::vector<NodeOp> OpStore;
+  std::vector<uint32_t> NodeOfExprStore, NodeOfVarStore, LabelRootsStore;
+
+  // The views every accessor reads: into the stores above, or into a
+  // read-only file mapping (`fromTables`).
+  std::span<const uint32_t> OutOffsets, OutTargets, InOffsets, InTargets;
+  std::span<const uint32_t> LabelAt;
+  std::span<const NodeOp> Op;
+  std::span<const uint32_t> NodeOfExpr, NodeOfVar, LabelRoots;
   double FreezeMs = 0;
 
   mutable std::once_flag CondOnce, SccLabelsOnce;

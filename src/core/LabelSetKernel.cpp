@@ -18,16 +18,33 @@ using namespace stcfa;
 
 LabelSetKernel::LabelSetKernel(const FrozenGraph &F, ThreadPool *Pool,
                                unsigned Threads)
-    : F(F), M(F.module()), Pool(Pool), Threads(Threads ? Threads : 1),
+    : F(F), Pool(Pool), Threads(Threads ? Threads : 1),
       RunStatus(Status::failedPrecondition("run() not called")) {}
 
 LabelSetKernel::LabelSetKernel(const FrozenGraph &F, unsigned Threads)
-    : F(F), M(F.module()), Pool(nullptr), Threads(Threads ? Threads : 1),
+    : F(F), Pool(nullptr), Threads(Threads ? Threads : 1),
       RunStatus(Status::failedPrecondition("run() not called")) {
   if (this->Threads > 1) {
     OwnedPool = std::make_unique<ThreadPool>(this->Threads);
     Pool = OwnedPool.get();
   }
+}
+
+LabelSetKernel::LabelSetKernel(const FrozenGraph &F,
+                               std::span<const uint64_t> Rows,
+                               uint32_t WordsPerSet)
+    : F(F), Pool(nullptr), Threads(1), RunStatus(Status::ok()) {
+  Cond = &F.condensation();
+  this->WordsPerSet = WordsPerSet;
+  RowWords = WordsPerSet; // snapshot rows are tight, no cache-line pad
+  // The adopted matrix is never written: a born-complete kernel makes
+  // `run()` short-circuit before any `rowMut`, so a read-only (mmap)
+  // backing is safe behind this cast.
+  Matrix = const_cast<uint64_t *>(Rows.data());
+  SccLevel.assign(Cond->numSccs(), 0);
+  NumLevels = LevelsDone = 1;
+  LevelsBuilt = true;
+  Ran = true;
 }
 
 /// Builds the level schedule and the row matrix.  One ascending-id sweep
@@ -97,7 +114,7 @@ Status LabelSetKernel::buildSchedule() {
   // The matrix: rows padded to whole cache lines (multiples of 8 words)
   // and the base 64-byte aligned into an over-allocated store, so two
   // lanes finalizing different components never touch the same line.
-  WordsPerSet = (M.numLabels() + 63) / 64;
+  WordsPerSet = (F.numLabels() + 63) / 64;
   RowWords = (WordsPerSet + 7) & ~7u;
   size_t Need = size_t(NumSccs) * RowWords;
   MatrixStore.assign(Need + 7, 0);
@@ -212,7 +229,7 @@ Status LabelSetKernel::run(const Controls &C) {
   // *successful* run — an aborted kernel falls back to BFS and a corrupt
   // row would never be read.
   if (faultFires(fault::KernelRowCorrupt) && WordsPerSet != 0) {
-    for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+    for (uint32_t I = 0, E = F.numExprs(); I != E; ++I) {
       uint32_t N = F.nodeOfExpr(ExprId(I));
       if (N == FrozenGraph::None)
         continue;
@@ -225,7 +242,7 @@ Status LabelSetKernel::run(const Controls &C) {
 }
 
 DenseBitset LabelSetKernel::labelsOfNode(uint32_t N) const {
-  DenseBitset Out(M.numLabels());
+  DenseBitset Out(F.numLabels());
   if (nodeComplete(N))
     Out.orWords(row(Cond->sccOf(N)), WordsPerSet);
   return Out;
@@ -234,6 +251,6 @@ DenseBitset LabelSetKernel::labelsOfNode(uint32_t N) const {
 DenseBitset LabelSetKernel::labelsOf(ExprId E) const {
   uint32_t N = F.nodeOfExpr(E);
   if (N == FrozenGraph::None)
-    return DenseBitset(M.numLabels());
+    return DenseBitset(F.numLabels());
   return labelsOfNode(N);
 }

@@ -57,6 +57,7 @@
 #include "support/ThreadPool.h"
 
 #include <memory>
+#include <span>
 #include <vector>
 
 namespace stcfa {
@@ -77,6 +78,15 @@ public:
   /// Standalone construction: owns a pool of \p Threads lanes (none
   /// spawned when \p Threads <= 1).
   explicit LabelSetKernel(const FrozenGraph &F, unsigned Threads = 1);
+
+  /// Adopts a complete, precomputed row matrix (a persisted snapshot's
+  /// kernel-rows section): one row per condensation component,
+  /// \p WordsPerSet words each, tightly packed in component-id order.
+  /// The kernel is born complete — `run()` returns `Ok` immediately and
+  /// never writes a row — so \p Rows may live in a read-only mapping; it
+  /// must outlive this kernel.
+  LabelSetKernel(const FrozenGraph &F, std::span<const uint64_t> Rows,
+                 uint32_t WordsPerSet);
 
   /// Runs (or resumes) the closure under \p C.  Returns `Ok` on a
   /// complete matrix; `DeadlineExceeded`/`Cancelled`/`OutOfMemory` on a
@@ -136,6 +146,12 @@ public:
   /// Words per label-set row before cache-line padding: `⌈L/64⌉`.
   uint32_t wordsPerSet() const { return WordsPerSet; }
 
+  /// The final row of component \p Scc — `wordsPerSet()` words, padding
+  /// excluded — for the snapshot writer.  Requires `complete()`.
+  std::span<const uint64_t> rowSpan(uint32_t Scc) const {
+    return {row(Scc), WordsPerSet};
+  }
+
   /// Milliseconds spent inside `run()` so far (summed across resumes).
   double closureMillis() const { return ClosureMs; }
 
@@ -148,7 +164,6 @@ private:
   void closeComponent(uint32_t Scc);
 
   const FrozenGraph &F;
-  const Module &M;
   ThreadPool *Pool; // borrowed or owned via OwnedPool; null = sequential
   std::unique_ptr<ThreadPool> OwnedPool;
   unsigned Threads;

@@ -17,7 +17,7 @@
 using namespace stcfa;
 
 QueryEngine::QueryEngine(const FrozenGraph &F, unsigned Threads)
-    : F(F), M(F.module()), NumThreads(Threads ? Threads : 1) {
+    : F(F), NumThreads(Threads ? Threads : 1) {
   Lanes.resize(NumThreads);
   for (Scratch &S : Lanes)
     S.Stamp.assign(F.numNodes(), 0);
@@ -26,6 +26,10 @@ QueryEngine::QueryEngine(const FrozenGraph &F, unsigned Threads)
 }
 
 QueryEngine::~QueryEngine() = default;
+
+void QueryEngine::adoptKernel(std::unique_ptr<LabelSetKernel> K) {
+  Kern = std::move(K);
+}
 
 LabelSetKernel &QueryEngine::kernelRef() {
   if (!Kern)
@@ -62,7 +66,7 @@ bool QueryEngine::dispatchKernel(size_t BatchSize, const Deadline &D,
 void QueryEngine::occurrencesFromKernel(const LabelSetKernel &K, LabelId L,
                                         std::vector<ExprId> &Out) {
   const uint32_t Label = L.index();
-  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+  for (uint32_t I = 0, E = F.numExprs(); I != E; ++I) {
     uint32_t N = F.nodeOfExpr(ExprId(I));
     if (N != FrozenGraph::None && K.hasLabel(N, Label))
       Out.push_back(ExprId(I));
@@ -103,7 +107,7 @@ void QueryEngine::forEachReachable(Scratch &S, uint32_t Start, FnT Fn) {
 DenseBitset QueryEngine::labelsFromNode(Scratch &S, uint32_t Start) {
   // The allLabelSets / labelsOfBatch hot path: a hand-unrolled DFS over
   // raw CSR arrays (hoisted pointers, no per-row span construction).
-  DenseBitset Out(M.numLabels());
+  DenseBitset Out(F.numLabels());
   bumpEpoch(S);
   const uint32_t *Off = F.outOffsets();
   const uint32_t *Tgt = F.outTargets();
@@ -174,7 +178,7 @@ void QueryEngine::markOccurrences(Scratch &S, LabelId L,
 
   // A congruence summary node may stand for many occurrences, so map
   // expressions to their canonical nodes rather than the reverse.
-  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+  for (uint32_t I = 0, E = F.numExprs(); I != E; ++I) {
     uint32_t N = F.nodeOfExpr(ExprId(I));
     if (N != FrozenGraph::None && S.Stamp[N] == S.Epoch)
       Out.push_back(ExprId(I));
@@ -195,14 +199,14 @@ bool QueryEngine::isLabelIn(ExprId E, LabelId L) {
 DenseBitset QueryEngine::labelsOf(ExprId E) {
   uint32_t Start = F.nodeOfExpr(E);
   if (Start == FrozenGraph::None)
-    return DenseBitset(M.numLabels());
+    return DenseBitset(F.numLabels());
   return labelsFromNode(Lanes[0], Start);
 }
 
 DenseBitset QueryEngine::labelsOfVar(VarId V) {
   uint32_t Start = F.nodeOfVar(V);
   if (Start == FrozenGraph::None)
-    return DenseBitset(M.numLabels());
+    return DenseBitset(F.numLabels());
   return labelsFromNode(Lanes[0], Start);
 }
 
@@ -275,7 +279,7 @@ QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es) {
     LaneSpan.arg("items", Sh.End - Sh.Begin);
     for (size_t I = Sh.Begin; I != Sh.End; ++I) {
       uint32_t Start = F.nodeOfExpr(Es[I]);
-      Out[I] = Start == FrozenGraph::None ? DenseBitset(M.numLabels())
+      Out[I] = Start == FrozenGraph::None ? DenseBitset(F.numLabels())
                                           : labelsFromNode(S, Start);
     }
   };
@@ -366,9 +370,9 @@ QueryEngine::occurrencesOfBatch(const std::vector<LabelId> &Ls) {
 }
 
 std::vector<DenseBitset> QueryEngine::allLabelSets(bool UseScc) {
-  std::vector<DenseBitset> Out(M.numExprs(), DenseBitset(M.numLabels()));
+  std::vector<DenseBitset> Out(F.numExprs(), DenseBitset(F.numLabels()));
   Span BatchSpan("query.all-labels");
-  BatchSpan.arg("exprs", M.numExprs());
+  BatchSpan.arg("exprs", F.numExprs());
   BatchSpan.arg("lanes", NumThreads);
   BatchSpan.arg("strategy", UseScc ? "scc" : "bfs");
 
@@ -377,7 +381,7 @@ std::vector<DenseBitset> QueryEngine::allLabelSets(bool UseScc) {
     // the frozen graph, so repeat calls cost only the output copies.
     const Condensation &C = F.condensation();
     const std::vector<DenseBitset> &SccLabels = F.sccLabelSets();
-    for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+    for (uint32_t I = 0, E = F.numExprs(); I != E; ++I) {
       uint32_t N = F.nodeOfExpr(ExprId(I));
       if (N != FrozenGraph::None)
         Out[I] = SccLabels[C.sccOf(N)];
@@ -392,7 +396,7 @@ std::vector<DenseBitset> QueryEngine::allLabelSets(bool UseScc) {
   std::vector<uint32_t> Distinct;
   {
     std::vector<bool> Seen(F.numNodes(), false);
-    for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+    for (uint32_t I = 0, E = F.numExprs(); I != E; ++I) {
       uint32_t N = F.nodeOfExpr(ExprId(I));
       if (N != FrozenGraph::None && !Seen[N]) {
         Seen[N] = true;
@@ -413,7 +417,7 @@ std::vector<DenseBitset> QueryEngine::allLabelSets(bool UseScc) {
     Pool->parallelFor(NumThreads, RunShard);
   else
     RunShard(0, 0);
-  for (uint32_t I = 0, E = M.numExprs(); I != E; ++I) {
+  for (uint32_t I = 0, E = F.numExprs(); I != E; ++I) {
     uint32_t N = F.nodeOfExpr(ExprId(I));
     if (N != FrozenGraph::None)
       Out[I] = PerNode[N];
@@ -475,7 +479,7 @@ void QueryEngine::runGoverned(size_t N, const BatchControl &C,
 std::vector<DenseBitset>
 QueryEngine::labelsOfBatch(const std::vector<ExprId> &Es,
                            const BatchControl &C, BatchOutcome &Outcome) {
-  std::vector<DenseBitset> Out(Es.size(), DenseBitset(M.numLabels()));
+  std::vector<DenseBitset> Out(Es.size(), DenseBitset(F.numLabels()));
   Span BatchSpan("query.batch.labels");
   BatchSpan.arg("items", Es.size());
   BatchSpan.arg("lanes", NumThreads);

@@ -88,6 +88,12 @@ public:
   /// The cached kernel, or null if no eligible batch has run yet.
   const LabelSetKernel *kernel() const { return Kern.get(); }
 
+  /// Installs an externally built kernel — a snapshot's persisted row
+  /// matrix — as the batched-query backend.  \p K must be `complete()`
+  /// and built over this engine's frozen graph; eligible batches then
+  /// dispatch to it without ever running the closure.
+  void adoptKernel(std::unique_ptr<LabelSetKernel> K);
+
   //===--- point queries (calling thread, lane 0) -------------------------//
 
   /// Algorithm 1: is the abstraction labelled \p L a possible value of
@@ -198,7 +204,6 @@ private:
   void markOccurrences(Scratch &S, LabelId L, std::vector<ExprId> &Out);
 
   const FrozenGraph &F;
-  const Module &M;
   unsigned NumThreads;
   std::unique_ptr<ThreadPool> Pool; // null when NumThreads == 1
   std::vector<Scratch> Lanes;       // one per worker lane

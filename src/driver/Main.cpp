@@ -31,9 +31,11 @@
 #include "interp/Interpreter.h"
 #include "lint/LintEngine.h"
 #include "lint/Render.h"
+#include "core/LabelSetKernel.h"
 #include "parser/Parser.h"
 #include "poly/Polyvariant.h"
 #include "sema/Infer.h"
+#include "snapshot/Snapshot.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
@@ -84,6 +86,17 @@ struct Options {
   /// Tracks whether the flag was given explicitly, for conflict checks.
   bool LintFormatGiven = false;
   bool QueryGiven = false;
+  bool CongruenceGiven = false;
+  bool PolicyGiven = false;
+  bool AnalysisGiven = false;
+  /// `--save-snapshot=<file>`: persist the frozen graph after analysis.
+  std::string SaveSnapshot;
+  /// `--load-snapshot=<file>`: serve queries from a persisted snapshot,
+  /// skipping parse/close/freeze entirely.
+  std::string LoadSnapshot;
+  /// `--snapshot-cache[=<dir>]`: content-addressed snapshot reuse.
+  bool SnapshotCache = false;
+  std::string SnapshotDir;
 
   /// True when any resource-governor flag was given: only then do the
   /// degradation exit codes (3-6) apply, so ungoverned invocations keep
@@ -123,6 +136,15 @@ int usage(const char *Argv0) {
       "  --degrade=<m>          off | standard (default) | partial —\n"
       "                         hybrid degradation ladder (hybrid only;\n"
       "                         'off' conflicts with --timeout-ms)\n"
+      "  --save-snapshot=<file> persist the frozen graph (plus name tables\n"
+      "                         and the label-set kernel matrix) to an\n"
+      "                         mmap-able snapshot (implies --frozen)\n"
+      "  --load-snapshot=<file> serve --query=labels|all-labels straight\n"
+      "                         from a snapshot: no parse, no close, no\n"
+      "                         freeze (docs/SNAPSHOT.md)\n"
+      "  --snapshot-cache[=<d>] content-addressed snapshot reuse keyed on\n"
+      "                         source + configuration; default directory\n"
+      "                         $STCFA_SNAPSHOT_DIR or ~/.cache/stcfa\n"
       "  --trace-json=<file>    write stage spans as a Chrome-tracing /\n"
       "                         Perfetto JSON array (docs/OBSERVABILITY.md)\n"
       "  --metrics-json=<file>  write the process metrics snapshot\n"
@@ -255,6 +277,106 @@ struct AnalysisResult {
   }
 };
 
+/// The canonical configuration string hashed into the snapshot cache key:
+/// every option that shapes the frozen tables, nothing that doesn't.
+std::string snapshotConfigString(const Options &O) {
+  return "analysis=" + O.Analysis + ";congruence=" + O.Congruence +
+         ";policy=" + O.Policy;
+}
+
+/// `renderSet` over the snapshot's persisted label names (no Module).
+std::string renderSnapshotSet(const LoadedSnapshot &Snap,
+                              const DenseBitset &Set) {
+  std::string Out = "{";
+  bool First = true;
+  Set.forEach([&](uint32_t L) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += Snap.labelName(L);
+  });
+  return Out + "}";
+}
+
+/// Serves `--query=labels|all-labels` straight from a loaded snapshot:
+/// zero-copy query engine over the mapping, persisted kernel rows adopted
+/// as the batch backend, output byte-identical to the in-memory path.
+int serveFromSnapshot(const Options &Opts, const LoadedSnapshot &Snap) {
+  const FrozenGraph &F = Snap.frozen();
+  QueryEngine Engine(F, Opts.Threads);
+  if (Opts.KernelThreshold >= 0)
+    Engine.setKernelThreshold(static_cast<size_t>(Opts.KernelThreshold));
+  bool KernelAdopted = false;
+  if (auto Kern = Snap.adoptKernel()) {
+    Engine.adoptKernel(std::move(Kern));
+    KernelAdopted = true;
+  }
+  if (Opts.Stats)
+    std::printf("snapshot: %u nodes / %llu edges served zero-copy, %u "
+                "query lane(s), kernel rows %s\n",
+                F.numNodes(), (unsigned long long)F.numEdges(),
+                Engine.threads(), KernelAdopted ? "adopted" : "absent");
+
+  Deadline D = Opts.TimeoutMs >= 0 ? Deadline::afterMillis(Opts.TimeoutMs)
+                                   : Deadline::infinite();
+  int ExitCode = 0;
+  Timer QueryTimer;
+  if (Opts.Query == "labels") {
+    std::printf("L(root) = %s\n",
+                renderSnapshotSet(Snap, Engine.labelsOf(Snap.rootExpr()))
+                    .c_str());
+  } else { // all-labels (the flag validation admits nothing else)
+    std::vector<ExprId> Es;
+    Es.reserve(F.numExprs());
+    for (uint32_t I = 0; I != F.numExprs(); ++I)
+      Es.push_back(ExprId(I));
+    BatchOutcome Outcome;
+    std::vector<DenseBitset> Sets;
+    if (Opts.TimeoutMs >= 0) {
+      BatchControl BC;
+      BC.D = D;
+      Sets = Engine.labelsOfBatch(Es, BC, Outcome);
+    } else {
+      Sets = Engine.labelsOfBatch(Es);
+      Outcome.Done.assign(Es.size(), true);
+    }
+    for (uint32_t I = 0; I != F.numExprs(); ++I) {
+      if (!Outcome.Done[I] || Sets[I].empty())
+        continue;
+      std::printf("%-18s %s\n", std::string(Snap.exprName(I)).c_str(),
+                  renderSnapshotSet(Snap, Sets[I]).c_str());
+    }
+    if (Opts.TimeoutMs >= 0 && !Outcome.S.isOk()) {
+      std::fprintf(stderr,
+                   "note: batch stopped early: %s (%llu of %u answered)\n",
+                   Outcome.S.toString().c_str(),
+                   (unsigned long long)Outcome.Completed, F.numExprs());
+      ExitCode = 3;
+    }
+  }
+  if (Opts.Stats)
+    std::printf("queries: %.3f ms\n", QueryTimer.millis());
+  return ExitCode;
+}
+
+/// Builds the complete label-set kernel for \p F and persists graph +
+/// kernel to \p Path.  Shared by `--save-snapshot` and the cache-miss
+/// fill; \p Key lands in the header for loader-side verification.
+Status persistSnapshot(const std::string &Path, const FrozenGraph &F,
+                       const Module &M, uint64_t Key, unsigned Threads) {
+  SnapshotWriteOptions WO;
+  WO.ContentHash = Key;
+  std::unique_ptr<LabelSetKernel> Kern;
+  if (M.numLabels() != 0) {
+    Kern = std::make_unique<LabelSetKernel>(F, Threads);
+    if (Kern->run().isOk())
+      WO.Kernel = Kern.get();
+    else
+      Kern.reset(); // persist the graph alone; loads just skip adoption
+  }
+  return writeSnapshot(Path, F, M, WO);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -263,9 +385,10 @@ int main(int Argc, char **Argv) {
     std::string A = Argv[I];
     if (startsWith(A, "--corpus="))
       Opts.Corpus = A.substr(9);
-    else if (startsWith(A, "--analysis="))
+    else if (startsWith(A, "--analysis=")) {
       Opts.Analysis = A.substr(11);
-    else if (startsWith(A, "--query=")) {
+      Opts.AnalysisGiven = true;
+    } else if (startsWith(A, "--query=")) {
       Opts.Query = A.substr(8);
       Opts.QueryGiven = true;
     } else if (A == "--lint")
@@ -290,11 +413,39 @@ int main(int Argc, char **Argv) {
       Opts.LintFormat = A.substr(14);
       Opts.LintFormatGiven = true;
     }
-    else if (startsWith(A, "--congruence="))
+    else if (startsWith(A, "--congruence=")) {
       Opts.Congruence = A.substr(13);
-    else if (startsWith(A, "--policy="))
+      Opts.CongruenceGiven = true;
+    } else if (startsWith(A, "--policy=")) {
       Opts.Policy = A.substr(9);
-    else if (startsWith(A, "--threads=")) {
+      Opts.PolicyGiven = true;
+    } else if (startsWith(A, "--save-snapshot=")) {
+      Opts.SaveSnapshot = A.substr(16);
+      if (Opts.SaveSnapshot.empty()) {
+        std::fprintf(stderr, "error: --save-snapshot expects a file path\n");
+        return 2;
+      }
+      Opts.Frozen = true;
+    } else if (startsWith(A, "--load-snapshot=")) {
+      Opts.LoadSnapshot = A.substr(16);
+      if (Opts.LoadSnapshot.empty()) {
+        std::fprintf(stderr, "error: --load-snapshot expects a file path\n");
+        return 2;
+      }
+    } else if (A == "--snapshot-cache") {
+      Opts.SnapshotCache = true;
+      Opts.Frozen = true;
+    } else if (startsWith(A, "--snapshot-cache=")) {
+      Opts.SnapshotCache = true;
+      Opts.SnapshotDir = A.substr(17);
+      Opts.Frozen = true;
+      if (Opts.SnapshotDir.empty()) {
+        std::fprintf(stderr,
+                     "error: --snapshot-cache= expects a directory; plain "
+                     "--snapshot-cache uses the default cache\n");
+        return 2;
+      }
+    } else if (startsWith(A, "--threads=")) {
       std::string N = A.substr(10);
       if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
         fprintf(stderr, "error: --threads expects a number, got '%s'\n",
@@ -438,6 +589,77 @@ int main(int Argc, char **Argv) {
     // Lint serves from the CSR snapshot; freezing is part of the mode.
     Opts.Frozen = true;
   }
+  if (!Opts.LoadSnapshot.empty() || Opts.SnapshotCache) {
+    // A served snapshot has no Module and no live graph, so everything
+    // that rebuilds or walks one conflicts; a snapshot built under a
+    // different close budget or degradation ladder would silently answer
+    // for the wrong configuration, so those flags fail fast too.
+    const char *Mode =
+        !Opts.LoadSnapshot.empty() ? "--load-snapshot" : "--snapshot-cache";
+    const char *Conflict = nullptr;
+    if (Opts.CloseBudget > 0)
+      Conflict = "--close-budget";
+    else if (!Opts.Degrade.empty())
+      Conflict = "--degrade";
+    else if (Opts.Lint)
+      Conflict = "--lint";
+    else if (Opts.Run)
+      Conflict = "--run";
+    else if (Opts.Print)
+      Conflict = "--print";
+    else if (Opts.DumpGraph)
+      Conflict = "--dump-graph";
+    else if (Opts.AnalysisGiven && Opts.Analysis != "subtransitive" &&
+             Opts.Analysis != "poly")
+      Conflict = "--analysis";
+    if (Conflict) {
+      std::fprintf(stderr,
+                   "error: %s conflicts with %s: the flag needs a rebuilt "
+                   "(or live) pipeline, but snapshots are served as-is; "
+                   "drop the flag or rebuild without the snapshot\n",
+                   Mode, Conflict);
+      return 2;
+    }
+    if (Opts.Query != "labels" && Opts.Query != "all-labels") {
+      std::fprintf(stderr,
+                   "error: %s serves label-set queries only "
+                   "(--query=labels|all-labels), got --query=%s\n",
+                   Mode, Opts.Query.c_str());
+      return 2;
+    }
+  }
+  if (!Opts.LoadSnapshot.empty()) {
+    if (!Opts.SaveSnapshot.empty() || Opts.SnapshotCache) {
+      std::fprintf(stderr,
+                   "error: --load-snapshot conflicts with %s: loading "
+                   "skips the pipeline that would produce the snapshot\n",
+                   !Opts.SaveSnapshot.empty() ? "--save-snapshot"
+                                              : "--snapshot-cache");
+      return 2;
+    }
+    if (Opts.CongruenceGiven || Opts.PolicyGiven) {
+      std::fprintf(stderr,
+                   "error: --load-snapshot ignores %s: the snapshot was "
+                   "built under its own configuration; rebuild with "
+                   "--save-snapshot to change it\n",
+                   Opts.CongruenceGiven ? "--congruence" : "--policy");
+      return 2;
+    }
+  }
+  if (!Opts.SaveSnapshot.empty() && Opts.SnapshotCache) {
+    std::fprintf(stderr, "error: --save-snapshot conflicts with "
+                         "--snapshot-cache: pick one destination\n");
+    return 2;
+  }
+  if (!Opts.SaveSnapshot.empty() && Opts.Analysis != "subtransitive" &&
+      Opts.Analysis != "poly") {
+    std::fprintf(stderr,
+                 "error: --save-snapshot persists the frozen subtransitive "
+                 "graph (--analysis=subtransitive|poly); --analysis=%s "
+                 "builds none\n",
+                 Opts.Analysis.c_str());
+    return 2;
+  }
 
   // Exporter lives on main's stack so every later return path — governed
   // aborts included — still writes the requested trace/metrics files.
@@ -466,10 +688,71 @@ int main(int Argc, char **Argv) {
                    Opts.TraceJson.c_str());
   }
 
+  // `--load-snapshot`: the whole front half of the pipeline — read,
+  // parse, infer, build, close, freeze — is replaced by one mmap.
+  if (!Opts.LoadSnapshot.empty()) {
+    Status LoadStatus = Status::ok();
+    std::unique_ptr<LoadedSnapshot> Snap =
+        LoadedSnapshot::load(Opts.LoadSnapshot, LoadStatus);
+    if (!Snap) {
+      std::fprintf(stderr, "error: %s\n", LoadStatus.toString().c_str());
+      return 1;
+    }
+    // When an input was named alongside the snapshot, verify the header's
+    // content hash against it — a stale snapshot must never silently
+    // answer for edited source.  (Stdin is not drained for this.)
+    if (!Opts.Corpus.empty() ||
+        (!Opts.InputFile.empty() && Opts.InputFile != "-")) {
+      bool Ok = true;
+      std::string Source = loadInput(Opts, Ok);
+      if (!Ok)
+        return 1;
+      uint64_t Key = snapshotCacheKey(Source, snapshotConfigString(Opts));
+      if (Snap->contentHash() != 0 && Snap->contentHash() != Key) {
+        std::fprintf(stderr,
+                     "error: snapshot '%s' was built from different source "
+                     "or configuration than the given input; rebuild it "
+                     "with --save-snapshot\n",
+                     Opts.LoadSnapshot.c_str());
+        return 1;
+      }
+    }
+    return serveFromSnapshot(Opts, *Snap);
+  }
+
   bool Ok = true;
   std::string Source = loadInput(Opts, Ok);
   if (!Ok)
     return 1;
+
+  // `--snapshot-cache`: content-addressed reuse.  A hit serves straight
+  // from the mapped file (no parse below this line); a miss runs the
+  // normal pipeline and fills the cache after the freeze.
+  uint64_t CacheKey = 0;
+  std::string CachePath;
+  if (Opts.SnapshotCache) {
+    CacheKey = snapshotCacheKey(Source, snapshotConfigString(Opts));
+    CachePath =
+        snapshotCachePath(snapshotCacheDir(Opts.SnapshotDir), CacheKey);
+    Status CacheStatus = Status::ok();
+    if (std::unique_ptr<LoadedSnapshot> Snap =
+            LoadedSnapshot::load(CachePath, CacheStatus)) {
+      if (Snap->contentHash() == CacheKey) {
+        counter("snapshot.cache-hits").inc();
+        traceInstant("snapshot.cache-hit");
+        if (Opts.Stats)
+          std::printf("snapshot cache: hit %s\n", CachePath.c_str());
+        return serveFromSnapshot(Opts, *Snap);
+      }
+      // A key collision with a different content hash: fall through and
+      // rebuild rather than serve the wrong program's answers.
+      Snap.reset();
+    }
+    counter("snapshot.cache-misses").inc();
+    traceInstant("snapshot.cache-miss");
+    if (Opts.Stats)
+      std::printf("snapshot cache: miss (%s)\n", CachePath.c_str());
+  }
 
   DiagnosticEngine Diags;
   std::unique_ptr<Module> M = parseProgram(Source, Diags);
@@ -610,6 +893,35 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "note: --frozen ignored (graph not closed or "
                            "aborted)\n");
     }
+  }
+
+  // `--save-snapshot` / the `--snapshot-cache` miss fill: persist the
+  // fresh frozen graph (and its complete kernel matrix) for later warm
+  // loads.  Both imply --frozen, so R.Snapshot is set whenever the
+  // subtransitive/poly pipeline closed cleanly.
+  if (!Opts.SaveSnapshot.empty() || (Opts.SnapshotCache && !CachePath.empty())) {
+    if (!R.Snapshot || !R.Snapshot->status().isOk()) {
+      std::fprintf(stderr, "error: cannot persist a snapshot: no frozen "
+                           "graph (close incomplete or analysis "
+                           "graph-free)\n");
+      return 1;
+    }
+    const std::string &Dest =
+        !Opts.SaveSnapshot.empty() ? Opts.SaveSnapshot : CachePath;
+    uint64_t Key = Opts.SnapshotCache
+                       ? CacheKey
+                       : snapshotCacheKey(Source, snapshotConfigString(Opts));
+    Status WS = Status::ok();
+    if (Opts.SnapshotCache)
+      WS = ensureSnapshotDir(snapshotCacheDir(Opts.SnapshotDir));
+    if (WS.isOk())
+      WS = persistSnapshot(Dest, *R.Snapshot, *M, Key, Opts.Threads);
+    if (!WS.isOk()) {
+      std::fprintf(stderr, "error: %s\n", WS.toString().c_str());
+      return 1;
+    }
+    if (Opts.Stats)
+      std::printf("snapshot: wrote %s\n", Dest.c_str());
   }
 
   if (Opts.Stats) {

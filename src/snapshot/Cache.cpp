@@ -1,0 +1,65 @@
+//===-- snapshot/Cache.cpp - Content-addressed snapshot cache -------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-key recipe (docs/SNAPSHOT.md): `hashBytes(source)` combined with
+/// the snapshot format version and a canonical configuration string
+/// naming every option that shapes the frozen tables.  Any source edit,
+/// option change, or format bump changes the key, so a stale entry can
+/// never be served — there is no invalidation protocol, only misses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "snapshot/Snapshot.h"
+#include "support/Hashing.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include <sys/stat.h>
+
+using namespace stcfa;
+
+uint64_t stcfa::snapshotCacheKey(std::string_view Source,
+                                 std::string_view Config) {
+  uint64_t H = hashBytes(Source.data(), Source.size());
+  H = hashCombine(H, SnapshotFormatVersion);
+  return hashCombine(H, hashBytes(Config.data(), Config.size()));
+}
+
+std::string stcfa::snapshotCacheDir(const std::string &Override) {
+  if (!Override.empty())
+    return Override;
+  if (const char *Env = std::getenv("STCFA_SNAPSHOT_DIR"); Env && *Env)
+    return Env;
+  if (const char *Xdg = std::getenv("XDG_CACHE_HOME"); Xdg && *Xdg)
+    return std::string(Xdg) + "/stcfa";
+  if (const char *Home = std::getenv("HOME"); Home && *Home)
+    return std::string(Home) + "/.cache/stcfa";
+  return ".stcfa-cache";
+}
+
+std::string stcfa::snapshotCachePath(const std::string &Dir, uint64_t Key) {
+  char Hex[17];
+  std::snprintf(Hex, sizeof(Hex), "%016llx", (unsigned long long)Key);
+  return Dir + "/" + Hex + ".stcfa-snap";
+}
+
+Status stcfa::ensureSnapshotDir(const std::string &Dir) {
+  if (Dir.empty())
+    return Status::invalidArgument("empty snapshot cache directory");
+  // mkdir -p: create each component, tolerating ones that already exist.
+  for (size_t Pos = 1; Pos <= Dir.size(); ++Pos) {
+    if (Pos != Dir.size() && Dir[Pos] != '/')
+      continue;
+    std::string Prefix = Dir.substr(0, Pos);
+    if (::mkdir(Prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      return Status::internal("cannot create snapshot directory '" + Prefix +
+                              "'");
+  }
+  return Status::ok();
+}

@@ -47,6 +47,19 @@ constexpr FaultSite Sites[] = {
      "the hybrid's freeze step reports an allocation failure"},
     {fault::HybridStandardDeadline, FaultKind::Timeout,
      "the hybrid's standard-CFA rung reports its deadline expired"},
+    {fault::SnapshotWriteAlloc, FaultKind::Alloc,
+     "the snapshot writer reports a serialization-buffer allocation failure"},
+    {fault::SnapshotMapFail, FaultKind::Alloc,
+     "the snapshot loader reports an mmap failure"},
+    {fault::SnapshotTruncate, FaultKind::Corrupt,
+     "the snapshot writer silently truncates the file's trailing bytes — a "
+     "canary proving the loader rejects short files with a Status error"},
+    {fault::SnapshotHeaderCorrupt, FaultKind::Corrupt,
+     "the snapshot writer silently corrupts one header byte — a canary "
+     "proving the loader's header validation rejects the file"},
+    {fault::SnapshotCsrBitFlip, FaultKind::Corrupt,
+     "the snapshot writer silently flips one bit in a CSR section after "
+     "checksumming — a canary proving section checksums catch bit rot"},
 };
 
 #if STCFA_FAULT_INJECTION

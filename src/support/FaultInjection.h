@@ -86,6 +86,12 @@ inline constexpr std::string_view HybridSubtransitiveBudget =
 inline constexpr std::string_view HybridFreezeAlloc = "hybrid.freeze-alloc";
 inline constexpr std::string_view HybridStandardDeadline =
     "hybrid.standard-deadline";
+inline constexpr std::string_view SnapshotWriteAlloc = "snapshot.write-alloc";
+inline constexpr std::string_view SnapshotMapFail = "snapshot.map-fail";
+inline constexpr std::string_view SnapshotTruncate = "snapshot.truncate";
+inline constexpr std::string_view SnapshotHeaderCorrupt =
+    "snapshot.header-corrupt";
+inline constexpr std::string_view SnapshotCsrBitFlip = "snapshot.csr-bit-flip";
 } // namespace fault
 
 /// All registered fault points (stable order).  Available even in
