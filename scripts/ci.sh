@@ -55,6 +55,14 @@ trap 'rm -rf "${SNAP_DIR}"' EXIT
 diff "${SNAP_DIR}/write.out" "${SNAP_DIR}/load.out"
 echo "snapshot round trip: outputs byte-identical across processes"
 
+# Daemon smoke: the real binary in --serve mode, driven through a pipe
+# (load -> query -> lint -> metrics -> shutdown, plus one garbage line
+# that must produce a structured error, not a crash).  docs/SERVE.md has
+# the protocol; the sanitizer presets below rerun this under ASan/UBSan
+# via the serve-smoke ctest label.
+echo "=== serve smoke (load -> query -> lint -> shutdown over a pipe) ==="
+scripts/serve_smoke.sh ./build/src/driver/stcfa
+
 # Static analysis: clang-tidy over the lint subsystem and its driver
 # wiring (.clang-tidy at the repo root picks the check families).  Scoped
 # to the newest code so the stage stays fast; gated on the tool being
@@ -68,7 +76,12 @@ else
 fi
 
 if [[ "${FAST}" == 0 ]]; then
-  run_preset build-asan "-DSTCFA_SANITIZE=address,undefined" -L 'unit|fuzz'
+  # serve-smoke rides along under ASan/UBSan so the daemon's line reader,
+  # fault fallbacks, and epoch teardown get leak/overflow coverage; the
+  # unit tier already includes the in-process serve tests, which is what
+  # gives TSan its epoch-swap coverage.
+  run_preset build-asan "-DSTCFA_SANITIZE=address,undefined" \
+    -L 'unit|fuzz|serve-smoke'
   run_preset build-tsan "-DSTCFA_SANITIZE=thread" -L unit
 fi
 

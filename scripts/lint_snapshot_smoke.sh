@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+#===-- scripts/lint_snapshot_smoke.sh - Lint-over-snapshot smoke -----------===#
+#
+# Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+#
+# `--load-snapshot` + `--lint` used to be rejected with the usage exit
+# code; the checker passes only need the AST (reparsed from the named
+# source) plus the frozen graph, which the snapshot serves as-is.  This
+# smoke saves a snapshot of a lint-corpus program, lints over the mapped
+# file, and requires the findings to be byte-identical to a live-pipeline
+# lint of the same source.
+#
+# Usage: scripts/lint_snapshot_smoke.sh <path-to-stcfa> <source.stml>
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+bin="${1:?usage: lint_snapshot_smoke.sh <path-to-stcfa> <source.stml>}"
+src="${2:?usage: lint_snapshot_smoke.sh <path-to-stcfa> <source.stml>}"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$bin" "$src" --save-snapshot="$tmp/lint.snap" >/dev/null
+"$bin" "$src" --load-snapshot="$tmp/lint.snap" --lint >"$tmp/snap.out"
+"$bin" "$src" --lint >"$tmp/live.out"
+diff "$tmp/live.out" "$tmp/snap.out"
+
+echo "lint-snapshot-smoke: ok"

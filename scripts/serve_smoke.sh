@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+#===-- scripts/serve_smoke.sh - Daemon end-to-end smoke --------------------===#
+#
+# Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+#
+# Drives the real driver binary in `--serve` mode through a pipe:
+# load -> query -> lint -> metrics -> shutdown, one JSON request per line
+# (docs/SERVE.md).  Asserts a clean exit, one reply line per request, and
+# the expected ok/result shape for every verb.  Registered as the
+# `serve_smoke` ctest (label `serve-smoke`) so it also runs under the
+# ASan/UBSan preset in scripts/ci.sh.
+#
+# Usage: scripts/serve_smoke.sh <path-to-stcfa>
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+bin="${1:?usage: serve_smoke.sh <path-to-stcfa>}"
+
+set +e
+out=$(printf '%s\n' \
+  '{"id":1,"verb":"load","params":{"source":"let compose = fn f => fn g => fn x => f (g x) in let inc = fn a => a + 1 in compose inc inc 0"}}' \
+  '{"id":2,"verb":"query","params":{"kind":"labels"}}' \
+  '{"id":3,"verb":"query","params":{"kind":"all-labels"}}' \
+  '{"id":4,"verb":"lint"}' \
+  'this line is not JSON' \
+  '{"id":5,"verb":"metrics"}' \
+  '{"id":6,"verb":"shutdown"}' \
+  | "$bin" --serve)
+status=$?
+set -e
+
+echo "$out"
+[ "$status" -eq 0 ] || { echo "serve-smoke: daemon exited $status" >&2; exit 1; }
+
+# One reply line per request (the garbage line gets a structured error).
+lines=$(printf '%s\n' "$out" | wc -l)
+[ "$lines" -eq 7 ] || { echo "serve-smoke: expected 7 replies, got $lines" >&2; exit 1; }
+
+check() { printf '%s\n' "$out" | grep -q -- "$1" \
+  || { echo "serve-smoke: missing $1" >&2; exit 1; }; }
+
+check '"id":1,"ok":true'          # load accepted
+check '"epoch":1'                 # first epoch installed
+check '"id":2,"ok":true'          # labels query answered
+check '"id":3,"ok":true'          # all-labels answered
+check '"id":4,"ok":true'          # lint ran
+check '"id":null,"ok":false'      # garbage -> structured error, not a crash
+check '"code":"invalid-argument"'
+check '"id":5,"ok":true'          # metrics still served after the error
+check '"serve.requests"'
+check '"id":6,"ok":true'          # clean shutdown reply
+check '"shutdown":true'
+
+echo "serve-smoke: ok"

@@ -12,11 +12,37 @@ using namespace stcfa;
 
 EffectsAnalysis::EffectsAnalysis(const SubtransitiveGraph &G,
                                  const FrozenGraph *Frozen)
-    : G(G), Frozen(Frozen), M(G.module()), RedExpr(M.numExprs(), false),
+    : G(&G), Frozen(Frozen), M(G.module()), RedExpr(M.numExprs(), false),
       RedNode(G.numNodes(), false), ExprDeps(M.numExprs()),
       AppsOnRan(G.numNodes()) {
-  assert((!Frozen || &Frozen->source() == &G) &&
+  assert((!Frozen || !Frozen->hasSource() || &Frozen->source() == &G) &&
          "snapshot must freeze this graph");
+}
+
+EffectsAnalysis::EffectsAnalysis(const Module &M, const FrozenGraph &Frozen)
+    : G(nullptr), Frozen(&Frozen), M(M), RedExpr(M.numExprs(), false),
+      RedNode(Frozen.numNodes(), false), ExprDeps(M.numExprs()),
+      AppsOnRan(Frozen.numNodes()) {
+  assert(M.numExprs() == Frozen.numExprs() &&
+         "module/snapshot shape mismatch");
+}
+
+NodeId EffectsAnalysis::nodeOfExpr(ExprId E) const {
+  if (G)
+    return G->lookupExprNode(E);
+  uint32_t N = Frozen->nodeOfExpr(E);
+  return N == FrozenGraph::None ? NodeId() : NodeId(N);
+}
+
+NodeId EffectsAnalysis::ranPortOf(NodeId Fn) const {
+  if (G)
+    return G->lookupDerived(NodeOp::Ran, Fn);
+  uint32_t R = Frozen->ranOf(Fn.index());
+  return R == FrozenGraph::None ? NodeId() : NodeId(R);
+}
+
+NodeOp EffectsAnalysis::opOf(NodeId N) const {
+  return G ? G->op(N) : Frozen->op(N.index());
 }
 
 void EffectsAnalysis::markExpr(ExprId E) {
@@ -25,7 +51,7 @@ void EffectsAnalysis::markExpr(ExprId E) {
   RedExpr[E.index()] = true;
   ++NumRed;
   ExprWorklist.push_back(E);
-  NodeId N = G.lookupExprNode(E);
+  NodeId N = nodeOfExpr(E);
   if (N.isValid())
     markNode(N);
 }
@@ -52,9 +78,9 @@ Status EffectsAnalysis::run(const Deadline &D, const CancellationToken &Token) {
         markExpr(Id);
     }
     if (const auto *A = dyn_cast<AppExpr>(E)) {
-      NodeId Fn = G.lookupExprNode(A->fn());
+      NodeId Fn = nodeOfExpr(A->fn());
       if (Fn.isValid()) {
-        NodeId Ran = G.lookupDerived(NodeOp::Ran, Fn);
+        NodeId Ran = ranPortOf(Fn);
         // APP-2 created ran(fn) during the build phase.
         if (Ran.isValid())
           AppsOnRan[Ran.index()].push_back(Id);
@@ -90,12 +116,12 @@ Status EffectsAnalysis::run(const Deadline &D, const CancellationToken &Token) {
         if (Frozen->op(P) == NodeOp::Ran)
           markNode(NodeId(P));
     } else {
-      for (NodeId P : G.preds(N))
-        if (G.op(P) == NodeOp::Ran)
+      for (NodeId P : G->preds(N))
+        if (G->op(P) == NodeOp::Ran)
           markNode(P);
     }
     // Rule (a), third disjunct: a call site whose ran(operator) is red.
-    if (G.op(N) == NodeOp::Ran)
+    if (opOf(N) == NodeOp::Ran)
       for (ExprId App : AppsOnRan[N.index()])
         markExpr(App);
   }

@@ -47,6 +47,13 @@ public:
   explicit EffectsAnalysis(const SubtransitiveGraph &G,
                            const FrozenGraph *Frozen = nullptr);
 
+  /// Snapshot-only form: every graph lookup (occurrence nodes, ran
+  /// ports, ops, adjacency) is served from \p Frozen's flat tables, so
+  /// an mmap-backed view with no live graph works — the
+  /// lint-over-snapshot and daemon paths.  \p M must be the module the
+  /// snapshot was frozen from (content-hash-verified by the caller).
+  EffectsAnalysis(const Module &M, const FrozenGraph &Frozen);
+
   /// Runs the propagation; call once.
   void run() { (void)run(Deadline::infinite()); }
 
@@ -68,9 +75,12 @@ public:
 private:
   void markExpr(ExprId E);
   void markNode(NodeId N);
+  NodeId nodeOfExpr(ExprId E) const;
+  NodeId ranPortOf(NodeId Fn) const;
+  NodeOp opOf(NodeId N) const;
 
-  const SubtransitiveGraph &G;
-  const FrozenGraph *Frozen;
+  const SubtransitiveGraph *G; ///< null on the snapshot-only path
+  const FrozenGraph *Frozen;   ///< non-null whenever `G` is null
   const Module &M;
   std::vector<bool> RedExpr;
   std::vector<bool> RedNode;

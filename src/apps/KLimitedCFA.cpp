@@ -107,11 +107,34 @@ const LimitedSet &KLimitedCFA::ofCallSite(ExprId App) const {
 
 CalledOnceAnalysis::CalledOnceAnalysis(const SubtransitiveGraph &G,
                                        const FrozenGraph *Frozen)
-    : G(G), Frozen(Frozen), M(G.module()),
+    : G(&G), Frozen(Frozen), M(G.module()),
       Result(M.numLabels(), CallCount::Never),
       Site(M.numLabels(), ExprId::invalid()) {
-  assert((!Frozen || &Frozen->source() == &G) &&
+  assert((!Frozen || !Frozen->hasSource() || &Frozen->source() == &G) &&
          "snapshot must freeze this graph");
+}
+
+CalledOnceAnalysis::CalledOnceAnalysis(const Module &M,
+                                       const FrozenGraph &Frozen)
+    : G(nullptr), Frozen(&Frozen), M(M),
+      Result(M.numLabels(), CallCount::Never),
+      Site(M.numLabels(), ExprId::invalid()) {
+  assert(M.numLabels() == Frozen.numLabels() &&
+         "module/snapshot shape mismatch");
+}
+
+NodeId CalledOnceAnalysis::nodeOfExpr(ExprId E) const {
+  if (G)
+    return G->lookupExprNode(E);
+  uint32_t N = Frozen->nodeOfExpr(E);
+  return N == FrozenGraph::None ? NodeId() : NodeId(N);
+}
+
+NodeId CalledOnceAnalysis::labelNodeOf(LabelId L) const {
+  if (G)
+    return G->lookupLabelNode(L);
+  uint32_t N = Frozen->labelRoots(L).second;
+  return N == FrozenGraph::None ? NodeId() : NodeId(N);
 }
 
 Status CalledOnceAnalysis::run(const Deadline &D,
@@ -120,13 +143,13 @@ Status CalledOnceAnalysis::run(const Deadline &D,
   HasRun = true;
 
   // 1-limited call-site markers flowing with the edges.
-  std::vector<LimitedSet> Marks(G.numNodes());
+  std::vector<LimitedSet> Marks(G ? G->numNodes() : Frozen->numNodes());
   std::vector<NodeId> Worklist;
   forEachExprPreorder(M, M.root(), [&](ExprId Id, const Expr *E) {
     const auto *A = dyn_cast<AppExpr>(E);
     if (!A)
       return;
-    NodeId Fn = G.lookupExprNode(A->fn());
+    NodeId Fn = nodeOfExpr(A->fn());
     if (!Fn.isValid())
       return;
     if (Marks[Fn.index()].insert(Id.index(), /*K=*/1) ||
@@ -158,7 +181,7 @@ Status CalledOnceAnalysis::run(const Deadline &D,
       for (uint32_t S : Frozen->succs(N.index()))
         Merge(S, N.index());
     } else {
-      for (NodeId S : G.succs(N))
+      for (NodeId S : G->succs(N))
         Merge(S.index(), N.index());
     }
   }
@@ -167,12 +190,12 @@ Status CalledOnceAnalysis::run(const Deadline &D,
   // the counts are an under-approximation and RunStatus says so.
   for (uint32_t L = 0, E = M.numLabels(); L != E; ++L) {
     LimitedSet Total;
-    NodeId Lam = G.lookupExprNode(M.lamOfLabel(LabelId(L)));
+    NodeId Lam = nodeOfExpr(M.lamOfLabel(LabelId(L)));
     if (Lam.isValid())
       Total.mergeFrom(Marks[Lam.index()], 1);
     // Polyvariant instantiations attach labels through closure-inert
     // label nodes; their markers count too.
-    if (NodeId LN = G.lookupLabelNode(LabelId(L)); LN.isValid())
+    if (NodeId LN = labelNodeOf(LabelId(L)); LN.isValid())
       Total.mergeFrom(Marks[LN.index()], 1);
     if (Total.isMany()) {
       Result[L] = CallCount::Many;

@@ -91,6 +91,12 @@ public:
   explicit CalledOnceAnalysis(const SubtransitiveGraph &G,
                               const FrozenGraph *Frozen = nullptr);
 
+  /// Snapshot-only form: node lookups come from \p Frozen's flat tables
+  /// (occurrence map, label roots), so an mmap-backed view works — the
+  /// lint-over-snapshot and daemon paths.  \p M must be the module the
+  /// snapshot was frozen from.
+  CalledOnceAnalysis(const Module &M, const FrozenGraph &Frozen);
+
   void run() { (void)run(Deadline::infinite()); }
 
   /// Governed run: polls \p D and \p Token every few thousand marker
@@ -114,8 +120,11 @@ public:
   std::vector<LabelId> calledOnce() const;
 
 private:
-  const SubtransitiveGraph &G;
-  const FrozenGraph *Frozen;
+  NodeId nodeOfExpr(ExprId E) const;
+  NodeId labelNodeOf(LabelId L) const;
+
+  const SubtransitiveGraph *G; ///< null on the snapshot-only path
+  const FrozenGraph *Frozen;   ///< non-null whenever `G` is null
   const Module &M;
   std::vector<CallCount> Result;
   std::vector<ExprId> Site;

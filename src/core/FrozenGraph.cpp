@@ -56,6 +56,7 @@ std::unique_ptr<FrozenGraph> FrozenGraph::fromTables(const Tables &T) {
   F->NodeOfExpr = T.NodeOfExpr;
   F->NodeOfVar = T.NodeOfVar;
   F->LabelRoots = T.LabelRoots;
+  F->RanOf = T.RanOf;
   // Adopt the persisted condensation so warm loads never pay the Tarjan
   // pass; consumers hit the usual `condensation()` cache path.
   if (T.SccOf.size() == T.NumNodes)
@@ -80,6 +81,7 @@ FrozenGraph::Tables FrozenGraph::tables() const {
   T.NodeOfExpr = NodeOfExpr;
   T.NodeOfVar = NodeOfVar;
   T.LabelRoots = LabelRoots;
+  T.RanOf = RanOf;
   const Condensation &C = condensation();
   T.SccOf = C.map();
   T.NumSccs = C.numSccs();
@@ -100,6 +102,7 @@ void FrozenGraph::resetToInert() {
   NodeOfExprStore.assign(NumExprs, None);
   NodeOfVarStore.assign(NumVars, None);
   LabelRootsStore.assign(2 * size_t(NumLabels), None);
+  RanOfStore.clear();
   OutOffsets = OutOffsetsStore;
   OutTargets = OutTargetsStore;
   InOffsets = InOffsetsStore;
@@ -109,6 +112,7 @@ void FrozenGraph::resetToInert() {
   NodeOfExpr = NodeOfExprStore;
   NodeOfVar = NodeOfVarStore;
   LabelRoots = LabelRootsStore;
+  RanOf = RanOfStore;
 }
 
 Status FrozenGraph::init(const Deadline &D) {
@@ -218,6 +222,15 @@ Status FrozenGraph::init(const Deadline &D) {
     LabelRootsStore[2 * L + 1] = Carrier.isValid() ? Carrier.index() : None;
   }
 
+  // Ran-port map hoisted flat: the effects analysis resolves
+  // `ran(lambda-node)` per call site, and an mmap-backed view has no
+  // source graph hash to consult, so the ports ride the snapshot.
+  RanOfStore.resize(NumNodes);
+  for (uint32_t N = 0; N != NumNodes; ++N) {
+    NodeId R = G->lookupDerived(NodeOp::Ran, NodeId(N));
+    RanOfStore[N] = R.isValid() && R.index() < NumNodes ? R.index() : None;
+  }
+
   OutOffsets = OutOffsetsStore;
   OutTargets = OutTargetsStore;
   InOffsets = InOffsetsStore;
@@ -227,6 +240,7 @@ Status FrozenGraph::init(const Deadline &D) {
   NodeOfExpr = NodeOfExprStore;
   NodeOfVar = NodeOfVarStore;
   LabelRoots = LabelRootsStore;
+  RanOf = RanOfStore;
 
   FreezeMs = T.millis();
   Millis.observe(static_cast<uint64_t>(FreezeMs));
@@ -237,6 +251,10 @@ Status FrozenGraph::init(const Deadline &D) {
 }
 
 uint32_t FrozenGraph::portOf(NodeOp PortOp, uint32_t Base, uint32_t Tag) const {
+  // Ran ports ride the flat persisted table, so even mmap-backed views
+  // (no source graph) answer them.
+  if (PortOp == NodeOp::Ran && Tag == 0 && !RanOf.empty())
+    return ranOf(Base);
   if (!G || Base >= NumNodes)
     return None;
   NodeId N = G->lookupDerived(PortOp, NodeId(Base), Tag);

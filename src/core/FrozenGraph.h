@@ -80,6 +80,9 @@ public:
     uint32_t NumNodes = 0, NumExprs = 0, NumVars = 0, NumLabels = 0;
     std::span<const uint32_t> OutOffsets, OutTargets, InOffsets, InTargets;
     std::span<const uint32_t> LabelAt, NodeOfExpr, NodeOfVar, LabelRoots;
+    /// Per-node `ran` port (`RanOf.size() == NumNodes`, entries `None`
+    /// where no ran node was materialised).
+    std::span<const uint32_t> RanOf;
     std::span<const NodeOp> Ops;
     /// The Tarjan condensation map (`SccOf.size() == NumNodes`).
     std::span<const uint32_t> SccOf;
@@ -178,8 +181,16 @@ public:
   /// `ran(Base)`, `field_Tag(Base)`, or `refcell(Base)` — or `None` when
   /// the port was never materialised.  Cold path (one hash lookup in the
   /// source graph); node indices in the snapshot equal source indices.
-  /// An mmap-backed view has no source graph and always answers `None`.
+  /// An mmap-backed view has no source graph and always answers `None`
+  /// — except for `ran` ports, which `ranOf` serves from a flat table.
   uint32_t portOf(NodeOp PortOp, uint32_t Base, uint32_t Tag = 0) const;
+
+  /// The `ran(N)` port node of \p N, or `None`.  Unlike `portOf`, this
+  /// reads a flat array persisted at freeze time, so it works on
+  /// mmap-backed views too (the effects-analysis path over snapshots).
+  uint32_t ranOf(uint32_t N) const {
+    return N < RanOf.size() ? RanOf[N] : None;
+  }
 
   /// Multi-source reachability over the CSR rows, the primitive under
   /// every port query: following successor edges (`Reverse` false) from a
@@ -223,13 +234,14 @@ private:
   std::vector<uint32_t> LabelAtStore;
   std::vector<NodeOp> OpStore;
   std::vector<uint32_t> NodeOfExprStore, NodeOfVarStore, LabelRootsStore;
+  std::vector<uint32_t> RanOfStore;
 
   // The views every accessor reads: into the stores above, or into a
   // read-only file mapping (`fromTables`).
   std::span<const uint32_t> OutOffsets, OutTargets, InOffsets, InTargets;
   std::span<const uint32_t> LabelAt;
   std::span<const NodeOp> Op;
-  std::span<const uint32_t> NodeOfExpr, NodeOfVar, LabelRoots;
+  std::span<const uint32_t> NodeOfExpr, NodeOfVar, LabelRoots, RanOf;
   double FreezeMs = 0;
 
   mutable std::once_flag CondOnce, SccLabelsOnce;

@@ -35,6 +35,7 @@
 #include "parser/Parser.h"
 #include "poly/Polyvariant.h"
 #include "sema/Infer.h"
+#include "serve/Server.h"
 #include "snapshot/Snapshot.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
@@ -97,6 +98,15 @@ struct Options {
   /// `--snapshot-cache[=<dir>]`: content-addressed snapshot reuse.
   bool SnapshotCache = false;
   std::string SnapshotDir;
+  /// `--snapshot-cache-max-mb=<n>`: cache size cap, LRU-by-mtime
+  /// eviction after each fill; 0 = uncapped.
+  uint64_t SnapshotCacheMaxMb = 512;
+  /// `--serve`: the long-running analysis daemon (docs/SERVE.md).
+  bool Serve = false;
+  /// Admission soft budget in governor node units.
+  uint64_t ServeMaxCost = 4u << 20;
+  /// Longest accepted request line, in MiB.
+  uint64_t ServeMaxRequestMb = 32;
 
   /// True when any resource-governor flag was given: only then do the
   /// degradation exit codes (3-6) apply, so ungoverned invocations keep
@@ -145,6 +155,20 @@ int usage(const char *Argv0) {
       "  --snapshot-cache[=<d>] content-addressed snapshot reuse keyed on\n"
       "                         source + configuration; default directory\n"
       "                         $STCFA_SNAPSHOT_DIR or ~/.cache/stcfa\n"
+      "  --snapshot-cache-max-mb=<n>\n"
+      "                         cache size cap, enforced after each fill by\n"
+      "                         LRU-by-mtime eviction (0 = uncapped;\n"
+      "                         default 512)\n"
+      "  --serve                long-running daemon: newline-delimited JSON\n"
+      "                         requests on stdin, one reply line each;\n"
+      "                         programs arrive via 'load' requests\n"
+      "                         (docs/SERVE.md)\n"
+      "  --serve-max-cost=<n>   admission soft budget in graph node units:\n"
+      "                         above it queries degrade to universal sets,\n"
+      "                         above twice it requests are shed\n"
+      "                         (default 4194304)\n"
+      "  --serve-max-request-mb=<n>\n"
+      "                         longest accepted request line (default 32)\n"
       "  --trace-json=<file>    write stage spans as a Chrome-tracing /\n"
       "                         Perfetto JSON array (docs/OBSERVABILITY.md)\n"
       "  --metrics-json=<file>  write the process metrics snapshot\n"
@@ -359,6 +383,54 @@ int serveFromSnapshot(const Options &Opts, const LoadedSnapshot &Snap) {
   return ExitCode;
 }
 
+/// `--load-snapshot --lint`: the frozen tables come from the mapping,
+/// the AST from reparsing the named input (already hash-verified against
+/// the snapshot header, so the two line up).
+int lintOverSnapshot(const Options &Opts, const LoadedSnapshot &Snap,
+                     const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = parseProgram(Source, Diags);
+  if (!M) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 1;
+  }
+  DiagnosticEngine InferDiags;
+  (void)inferTypes(*M, InferDiags);
+  const FrozenGraph &F = Snap.frozen();
+  if (M->numExprs() != F.numExprs()) {
+    std::fprintf(stderr,
+                 "error: snapshot '%s' does not match the given input "
+                 "(%u vs %u occurrences)\n",
+                 Opts.LoadSnapshot.c_str(), F.numExprs(), M->numExprs());
+    return 1;
+  }
+  LintEngine Lint(*M, F);
+  LintOptions LO;
+  LO.Passes = Opts.LintPasses;
+  LO.D = Opts.TimeoutMs >= 0 ? Deadline::afterMillis(Opts.TimeoutMs)
+                             : Deadline::infinite();
+  LO.Threads = Opts.Threads;
+  Timer LintTimer;
+  LintResult LR = Lint.run(LO);
+  std::string InputName = !Opts.InputFile.empty() && Opts.InputFile != "-"
+                              ? Opts.InputFile
+                              : "corpus:" + Opts.Corpus;
+  std::string Rendered = Opts.LintFormat == "json"
+                             ? renderLintJson(LR, InputName)
+                         : Opts.LintFormat == "sarif"
+                             ? renderLintSarif(LR, InputName)
+                             : renderLintText(LR, InputName);
+  std::fputs(Rendered.c_str(), stdout);
+  if (Opts.Stats)
+    std::printf("lint: %u pass(es) over snapshot in %.3f ms\n",
+                (unsigned)LR.Reports.size(), LintTimer.millis());
+  if (LR.NumErrors > 0)
+    return 7;
+  if (LR.anyPartial() && Opts.governed())
+    return 3;
+  return 0;
+}
+
 /// Builds the complete label-set kernel for \p F and persists graph +
 /// kernel to \p Path.  Shared by `--save-snapshot` and the cache-miss
 /// fill; \p Key lands in the header for loader-side verification.
@@ -445,6 +517,46 @@ int main(int Argc, char **Argv) {
                      "--snapshot-cache uses the default cache\n");
         return 2;
       }
+    } else if (startsWith(A, "--snapshot-cache-max-mb=")) {
+      std::string N = A.substr(24);
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --snapshot-cache-max-mb expects a number, got "
+                     "'%s'\n",
+                     N.c_str());
+        return 2;
+      }
+      Opts.SnapshotCacheMaxMb = std::stoull(N);
+    } else if (A == "--serve") {
+      Opts.Serve = true;
+    } else if (startsWith(A, "--serve-max-cost=")) {
+      std::string N = A.substr(17);
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --serve-max-cost expects a number, got '%s'\n",
+                     N.c_str());
+        return 2;
+      }
+      Opts.ServeMaxCost = std::stoull(N);
+      if (Opts.ServeMaxCost == 0) {
+        std::fprintf(stderr, "error: --serve-max-cost must be positive\n");
+        return 2;
+      }
+    } else if (startsWith(A, "--serve-max-request-mb=")) {
+      std::string N = A.substr(23);
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --serve-max-request-mb expects a number, got "
+                     "'%s'\n",
+                     N.c_str());
+        return 2;
+      }
+      Opts.ServeMaxRequestMb = std::stoull(N);
+      if (Opts.ServeMaxRequestMb == 0) {
+        std::fprintf(stderr,
+                     "error: --serve-max-request-mb must be positive\n");
+        return 2;
+      }
     } else if (startsWith(A, "--threads=")) {
       std::string N = A.substr(10);
       if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
@@ -528,12 +640,44 @@ int main(int Argc, char **Argv) {
                  Opts.Degrade.c_str());
     return 2;
   }
-  if (!Opts.Degrade.empty() && Opts.Analysis != "hybrid") {
+  if (!Opts.Degrade.empty() && Opts.Analysis != "hybrid" && !Opts.Serve) {
     std::fprintf(stderr,
-                 "error: --degrade only applies to --analysis=hybrid "
-                 "(got --analysis=%s)\n",
+                 "error: --degrade only applies to --analysis=hybrid or "
+                 "--serve (got --analysis=%s)\n",
                  Opts.Analysis.c_str());
     return 2;
+  }
+  if (Opts.Serve) {
+    // The daemon owns the whole pipeline per 'load' request; every flag
+    // that names an input or picks a batch output mode conflicts.
+    const char *Conflict = nullptr;
+    if (!Opts.InputFile.empty() || !Opts.Corpus.empty())
+      Conflict = "an input argument (programs arrive via 'load' requests)";
+    else if (Opts.QueryGiven)
+      Conflict = "--query (queries arrive as 'query' requests)";
+    else if (Opts.Lint)
+      Conflict = "--lint (lint arrives as 'lint' requests)";
+    else if (Opts.Run)
+      Conflict = "--run";
+    else if (Opts.Print)
+      Conflict = "--print";
+    else if (Opts.DumpGraph)
+      Conflict = "--dump-graph";
+    else if (!Opts.SaveSnapshot.empty())
+      Conflict = "--save-snapshot (use --snapshot-cache for warm restarts)";
+    else if (!Opts.LoadSnapshot.empty())
+      Conflict = "--load-snapshot (use --snapshot-cache for warm restarts)";
+    else if (Opts.AnalysisGiven)
+      Conflict = "--analysis (the daemon always runs the hybrid ladder)";
+    else if (Opts.CongruenceGiven || Opts.PolicyGiven)
+      Conflict = "--congruence/--policy (the daemon's snapshot keys pin "
+                 "the default configuration)";
+    else if (Opts.CloseBudget > 0)
+      Conflict = "--close-budget (use --serve-max-cost for admission)";
+    if (Conflict) {
+      std::fprintf(stderr, "error: --serve conflicts with %s\n", Conflict);
+      return 2;
+    }
   }
   if (Opts.Degrade == "off" && Opts.TimeoutMs >= 0) {
     std::fprintf(stderr,
@@ -601,8 +745,9 @@ int main(int Argc, char **Argv) {
       Conflict = "--close-budget";
     else if (!Opts.Degrade.empty())
       Conflict = "--degrade";
-    else if (Opts.Lint)
-      Conflict = "--lint";
+    else if (Opts.Lint && Opts.LoadSnapshot.empty())
+      Conflict = "--lint"; // lint-over-snapshot works for --load-snapshot
+                           // only: it reparses the named input
     else if (Opts.Run)
       Conflict = "--run";
     else if (Opts.Print)
@@ -620,13 +765,21 @@ int main(int Argc, char **Argv) {
                    Mode, Conflict);
       return 2;
     }
-    if (Opts.Query != "labels" && Opts.Query != "all-labels") {
+    if (!Opts.Lint && Opts.Query != "labels" && Opts.Query != "all-labels") {
       std::fprintf(stderr,
                    "error: %s serves label-set queries only "
                    "(--query=labels|all-labels), got --query=%s\n",
                    Mode, Opts.Query.c_str());
       return 2;
     }
+  }
+  if (!Opts.LoadSnapshot.empty() && Opts.Lint && Opts.Corpus.empty() &&
+      (Opts.InputFile.empty() || Opts.InputFile == "-")) {
+    std::fprintf(stderr,
+                 "error: --load-snapshot --lint needs the source named too "
+                 "(a file or --corpus): the checker passes walk the AST, "
+                 "which the snapshot does not persist\n");
+    return 2;
   }
   if (!Opts.LoadSnapshot.empty()) {
     if (!Opts.SaveSnapshot.empty() || Opts.SnapshotCache) {
@@ -688,6 +841,25 @@ int main(int Argc, char **Argv) {
                    Opts.TraceJson.c_str());
   }
 
+  // `--serve`: hand stdin/stdout to the daemon; everything else in this
+  // file is the batch pipeline, which the daemon re-runs per 'load'.
+  if (Opts.Serve) {
+    serve::ServeOptions SO;
+    SO.Threads = Opts.Threads;
+    SO.KernelThreshold = Opts.KernelThreshold;
+    SO.DefaultDeadlineMs = Opts.TimeoutMs;
+    SO.MaxInflightCost = Opts.ServeMaxCost;
+    SO.MaxRequestBytes = Opts.ServeMaxRequestMb << 20;
+    SO.SnapshotCache = Opts.SnapshotCache;
+    SO.SnapshotDir = Opts.SnapshotDir;
+    SO.SnapshotCacheMaxBytes = Opts.SnapshotCacheMaxMb << 20;
+    if (!Opts.Degrade.empty())
+      SO.Degrade = Opts.Degrade;
+    SO.Stats = Opts.Stats;
+    serve::Server Daemon(0, 1, SO);
+    return Daemon.run();
+  }
+
   // `--load-snapshot`: the whole front half of the pipeline — read,
   // parse, infer, build, close, freeze — is replaced by one mmap.
   if (!Opts.LoadSnapshot.empty()) {
@@ -701,13 +873,15 @@ int main(int Argc, char **Argv) {
     // When an input was named alongside the snapshot, verify the header's
     // content hash against it — a stale snapshot must never silently
     // answer for edited source.  (Stdin is not drained for this.)
+    std::string VerifiedSource;
     if (!Opts.Corpus.empty() ||
         (!Opts.InputFile.empty() && Opts.InputFile != "-")) {
       bool Ok = true;
-      std::string Source = loadInput(Opts, Ok);
+      VerifiedSource = loadInput(Opts, Ok);
       if (!Ok)
         return 1;
-      uint64_t Key = snapshotCacheKey(Source, snapshotConfigString(Opts));
+      uint64_t Key =
+          snapshotCacheKey(VerifiedSource, snapshotConfigString(Opts));
       if (Snap->contentHash() != 0 && Snap->contentHash() != Key) {
         std::fprintf(stderr,
                      "error: snapshot '%s' was built from different source "
@@ -717,6 +891,10 @@ int main(int Argc, char **Argv) {
         return 1;
       }
     }
+    // `--lint` over the mapping: flag validation guaranteed an input was
+    // named, so VerifiedSource holds the (hash-checked) program text.
+    if (Opts.Lint)
+      return lintOverSnapshot(Opts, *Snap, VerifiedSource);
     return serveFromSnapshot(Opts, *Snap);
   }
 
@@ -739,6 +917,7 @@ int main(int Argc, char **Argv) {
             LoadedSnapshot::load(CachePath, CacheStatus)) {
       if (Snap->contentHash() == CacheKey) {
         counter("snapshot.cache-hits").inc();
+        touchSnapshotEntry(CachePath); // a hit refreshes the LRU order
         traceInstant("snapshot.cache-hit");
         if (Opts.Stats)
           std::printf("snapshot cache: hit %s\n", CachePath.c_str());
@@ -919,6 +1098,15 @@ int main(int Argc, char **Argv) {
     if (!WS.isOk()) {
       std::fprintf(stderr, "error: %s\n", WS.toString().c_str());
       return 1;
+    }
+    if (Opts.SnapshotCache && Opts.SnapshotCacheMaxMb != 0) {
+      size_t Evicted = enforceSnapshotCacheBudget(
+          snapshotCacheDir(Opts.SnapshotDir),
+          Opts.SnapshotCacheMaxMb << 20);
+      if (Evicted != 0 && Opts.Stats)
+        std::printf("snapshot cache: evicted %zu entr%s (cap %llu MiB)\n",
+                    Evicted, Evicted == 1 ? "y" : "ies",
+                    (unsigned long long)Opts.SnapshotCacheMaxMb);
     }
     if (Opts.Stats)
       std::printf("snapshot: wrote %s\n", Dest.c_str());

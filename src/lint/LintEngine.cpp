@@ -16,8 +16,14 @@
 using namespace stcfa;
 
 LintEngine::LintEngine(const SubtransitiveGraph &G, const FrozenGraph &F)
-    : G(G), F(F) {
-  assert(&F.source() == &G && "snapshot must freeze this graph");
+    : G(&G), M(G.module()), F(F) {
+  assert((!F.hasSource() || &F.source() == &G) &&
+         "snapshot must freeze this graph");
+}
+
+LintEngine::LintEngine(const Module &M, const FrozenGraph &F)
+    : G(nullptr), M(M), F(F) {
+  assert(M.numExprs() == F.numExprs() && "module/snapshot shape mismatch");
 }
 
 LintResult LintEngine::run(const LintOptions &Opts) {
@@ -49,7 +55,7 @@ LintResult LintEngine::run(const LintOptions &Opts) {
   if (Selected.empty())
     return Result;
 
-  LintContext Ctx(G, F, Opts.D, Opts.Token);
+  LintContext Ctx(G, M, F, Opts.D, Opts.Token);
   unsigned Width = Opts.Threads ? Opts.Threads : 1;
   if (Width > Selected.size())
     Width = static_cast<unsigned>(Selected.size());

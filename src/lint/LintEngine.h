@@ -79,10 +79,17 @@ class LintContext {
 public:
   LintContext(const SubtransitiveGraph &G, const FrozenGraph &F,
               const Deadline &D, const CancellationToken &Token);
+
+  /// Snapshot-only form: the wrapped analyses run on \p F's flat tables
+  /// alone, so an mmap-backed view works — the lint-over-snapshot and
+  /// daemon paths.  \p M must be the module \p F was frozen from.
+  LintContext(const Module &M, const FrozenGraph &F, const Deadline &D,
+              const CancellationToken &Token);
   ~LintContext();
 
   const Module &module() const { return M; }
-  const SubtransitiveGraph &graph() const { return G; }
+  /// The live source graph, or null on the snapshot-only path.
+  const SubtransitiveGraph *graph() const { return G; }
   const FrozenGraph &frozen() const { return F; }
   const Deadline &deadline() const { return D; }
   const CancellationToken &token() const { return Token; }
@@ -101,7 +108,12 @@ public:
   ExprId exprOfNode(uint32_t N) const;
 
 private:
-  const SubtransitiveGraph &G;
+  friend class LintEngine;
+  LintContext(const SubtransitiveGraph *G, const Module &M,
+              const FrozenGraph &F, const Deadline &D,
+              const CancellationToken &Token);
+
+  const SubtransitiveGraph *G; ///< null on the snapshot-only path
   const FrozenGraph &F;
   const Module &M;
   Deadline D;
@@ -158,6 +170,13 @@ public:
   /// \p F must be a usable snapshot of \p G (`F.status().isOk()`).
   LintEngine(const SubtransitiveGraph &G, const FrozenGraph &F);
 
+  /// Snapshot-only form: every pass and wrapped analysis runs on \p F's
+  /// flat tables, so an mmap-backed snapshot works without its source
+  /// pipeline.  \p M must be the module \p F was frozen from
+  /// (content-hash-verified by the caller — the driver and daemon both
+  /// check before constructing).
+  LintEngine(const Module &M, const FrozenGraph &F);
+
   /// All registered passes, in execution order.
   static std::span<const LintPassInfo> passes();
 
@@ -168,7 +187,8 @@ public:
   LintResult run(const LintOptions &Opts = {});
 
 private:
-  const SubtransitiveGraph &G;
+  const SubtransitiveGraph *G; ///< null on the snapshot-only path
+  const Module &M;
   const FrozenGraph &F;
 };
 

@@ -1,0 +1,196 @@
+//===-- serve/Epoch.cpp - Versioned analysis epochs for serve mode --------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Epoch.h"
+
+#include "core/LabelSetKernel.h"
+#include "support/Metrics.h"
+
+#include <cassert>
+
+using namespace stcfa;
+using namespace stcfa::serve;
+
+namespace {
+/// Epochs are constructed on the reader thread but destroyed on whatever
+/// thread drops the last reference, so the live count must be a real
+/// atomic; the gauge mirrors its post-op value.
+std::atomic<int64_t> LiveEpochs{0};
+
+void recordEpochDelta(int64_t Delta) {
+  static Gauge &G = gauge("serve.epochs_live");
+  G.set(LiveEpochs.fetch_add(Delta, std::memory_order_relaxed) + Delta);
+}
+} // namespace
+
+Epoch::Epoch(uint64_t Id, std::unique_ptr<Module> Mod,
+             std::unique_ptr<HybridCFA> H)
+    : EpochId(Id), M(std::move(Mod)), Hybrid(std::move(H)) {
+  assert(Hybrid && Hybrid->engine() != HybridCFA::Engine::None &&
+         "live epoch needs a served ladder");
+  Q = Hybrid->queryEngine(); // null when the ladder degraded
+  recordEpochDelta(+1);
+}
+
+Epoch::Epoch(uint64_t Id, std::unique_ptr<Module> Mod,
+             std::unique_ptr<LoadedSnapshot> S, unsigned Threads,
+             size_t KernelThreshold) // NOLINT(bugprone-easily-swappable-parameters)
+    : EpochId(Id), M(std::move(Mod)), Snap(std::move(S)) {
+  MappedEngine = std::make_unique<QueryEngine>(Snap->frozen(), Threads);
+  MappedEngine->setKernelThreshold(KernelThreshold);
+  if (auto Kern = Snap->adoptKernel())
+    MappedEngine->adoptKernel(std::move(Kern));
+  Q = MappedEngine.get();
+  recordEpochDelta(+1);
+}
+
+Epoch::~Epoch() { recordEpochDelta(-1); }
+
+const char *Epoch::engine() const {
+  if (Snap)
+    return "snapshot";
+  return engineName(Hybrid->engine());
+}
+
+const FrozenGraph *Epoch::frozen() const {
+  if (Snap)
+    return &Snap->frozen();
+  return Hybrid->frozen();
+}
+
+uint64_t Epoch::cost() const {
+  const FrozenGraph *F = frozen();
+  uint64_t C = F ? F->numNodes() : M->numExprs();
+  return C ? C : 1;
+}
+
+Status Epoch::labelsOf(ExprId E, const Deadline &D, DenseBitset &Out) {
+  if (D.expired())
+    return Status::deadlineExceeded("query deadline expired before start");
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Q) {
+    Out = Q->labelsOf(E);
+    return Status::ok();
+  }
+  Out = Hybrid->labelSet(E); // table read / universal set on degraded rungs
+  return Status::ok();
+}
+
+Status Epoch::isLabelIn(ExprId E, LabelId L, const Deadline &D, bool &Out) {
+  if (D.expired())
+    return Status::deadlineExceeded("query deadline expired before start");
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Q) {
+    Out = Q->isLabelIn(E, L);
+    return Status::ok();
+  }
+  Out = Hybrid->labelSet(E).contains(L.index());
+  return Status::ok();
+}
+
+Status Epoch::occurrencesOf(LabelId L, const Deadline &D,
+                            std::vector<ExprId> &Out) {
+  if (D.expired())
+    return Status::deadlineExceeded("query deadline expired before start");
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Q) {
+    Out = Q->occurrencesOf(L);
+    return Status::ok();
+  }
+  // Degraded sweep: one table read per occurrence, polled coarsely.
+  Out.clear();
+  for (uint32_t I = 0, E = M->numExprs(); I != E; ++I) {
+    if ((I & 1023u) == 0 && D.expired())
+      return Status::deadlineExceeded("occurrence sweep exceeded deadline");
+    if (Hybrid->labelSet(ExprId(I)).contains(L.index()))
+      Out.push_back(ExprId(I));
+  }
+  return Status::ok();
+}
+
+Status Epoch::allLabels(const Deadline &D, std::vector<DenseBitset> &Out,
+                        std::vector<char> &Done) {
+  const uint32_t E = M->numExprs();
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Q) {
+    std::vector<ExprId> Es;
+    Es.reserve(E);
+    for (uint32_t I = 0; I != E; ++I)
+      Es.push_back(ExprId(I));
+    if (D.isInfinite()) {
+      Out = Q->labelsOfBatch(Es);
+      Done.assign(E, 1);
+      return Status::ok();
+    }
+    BatchControl BC;
+    BC.D = D;
+    BatchOutcome Outcome;
+    Out = Q->labelsOfBatch(Es, BC, Outcome);
+    Done = std::move(Outcome.Done);
+    return Outcome.S;
+  }
+  Out.clear();
+  Out.reserve(E);
+  Done.assign(E, 0);
+  for (uint32_t I = 0; I != E; ++I) {
+    if ((I & 255u) == 0 && D.expired()) {
+      Out.resize(E);
+      return Status::deadlineExceeded("all-labels sweep exceeded deadline");
+    }
+    Out.push_back(Hybrid->labelSet(ExprId(I)));
+    Done[I] = 1;
+  }
+  return Status::ok();
+}
+
+Status Epoch::lint(const std::vector<std::string> &Passes, const Deadline &D,
+                   unsigned Threads, LintResult &Out) {
+  const FrozenGraph *F = frozen();
+  if (!F || !F->status().isOk())
+    return Status::failedPrecondition(
+        "lint requires the subtransitive engine; this epoch degraded to " +
+        std::string(engine()));
+  LintOptions LO;
+  LO.Passes = Passes;
+  LO.D = D;
+  LO.Threads = Threads;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Snap) {
+    LintEngine Lint(*M, *F);
+    Out = Lint.run(LO);
+  } else {
+    LintEngine Lint(*Hybrid->graph(), *F);
+    Out = Lint.run(LO);
+  }
+  return Status::ok();
+}
+
+//===----------------------------------------------------------------------===//
+// EpochManager
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<Epoch> EpochManager::current() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Cur;
+}
+
+uint64_t EpochManager::allocateId() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return ++NextId;
+}
+
+std::shared_ptr<Epoch> EpochManager::install(std::shared_ptr<Epoch> E) {
+  static Counter &Retirements = counter("serve.epoch_retirements");
+  std::shared_ptr<Epoch> Old;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Old = std::move(Cur);
+    Cur = std::move(E);
+  }
+  if (Old)
+    Retirements.inc();
+  return Old;
+}

@@ -1,0 +1,139 @@
+//===-- serve/Epoch.h - Versioned analysis epochs for serve mode *- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An `Epoch` is one immutable loaded analysis: the parsed module plus
+/// either a live hybrid pipeline (cache miss — the degradation ladder
+/// decides which engine serves) or an mmap-backed snapshot with its
+/// query engine (cache hit — the crash-safe warm-restart path).  Epochs
+/// are reference-counted via `shared_ptr`: a `load` installs a new epoch
+/// while requests already dispatched keep answering against the one they
+/// resolved at accept time; the old mapping is unmapped when the last
+/// such reference drains (watch the `serve.epochs_live` gauge).
+///
+/// Query entry points serialize on an internal mutex — `QueryEngine` is
+/// explicitly not re-entrant from multiple external threads, and the
+/// daemon's worker pool is exactly such a caller.  Batched work still
+/// shards across the engine's own lanes under the lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_SERVE_EPOCH_H
+#define STCFA_SERVE_EPOCH_H
+
+#include "analysis/HybridCFA.h"
+#include "ast/Module.h"
+#include "core/QueryEngine.h"
+#include "lint/LintEngine.h"
+#include "snapshot/Snapshot.h"
+#include "support/Deadline.h"
+#include "support/Status.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stcfa {
+namespace serve {
+
+/// One loaded program at one version.  Immutable after construction
+/// apart from the engine's internal scratch (guarded by `Mu`).
+class Epoch {
+public:
+  /// Live-pipeline epoch: \p H has been solved (some rung served).
+  Epoch(uint64_t Id, std::unique_ptr<Module> M, std::unique_ptr<HybridCFA> H);
+
+  /// Mapped epoch: \p Snap passed validation and content-hash checks and
+  /// was frozen from a module with \p M's shape.  The persisted kernel
+  /// rows, when present, are adopted as the batch backend.
+  Epoch(uint64_t Id, std::unique_ptr<Module> M,
+        std::unique_ptr<LoadedSnapshot> Snap, unsigned Threads,
+        size_t KernelThreshold);
+
+  ~Epoch();
+
+  Epoch(const Epoch &) = delete;
+  Epoch &operator=(const Epoch &) = delete;
+
+  uint64_t id() const { return EpochId; }
+  const Module &module() const { return *M; }
+
+  /// The serving engine: "snapshot" for a mapped epoch, else the hybrid
+  /// ladder's rung ("subtransitive", "standard", "partial").
+  const char *engine() const;
+
+  /// The CSR snapshot behind the query engine; null when the ladder
+  /// degraded past the subtransitive rung (no frozen tables exist).
+  const FrozenGraph *frozen() const;
+
+  /// Admission cost in governor node units: CSR nodes when frozen,
+  /// occurrence count under a degraded engine (its table reads scale
+  /// with the program, not a graph).
+  uint64_t cost() const;
+
+  uint32_t numExprs() const { return M->numExprs(); }
+  uint32_t numLabels() const { return M->numLabels(); }
+  ExprId root() const { return M->root(); }
+
+  //===--- queries (thread-safe; serialized on the epoch mutex) ----------//
+
+  Status labelsOf(ExprId E, const Deadline &D, DenseBitset &Out);
+  Status isLabelIn(ExprId E, LabelId L, const Deadline &D, bool &Out);
+  Status occurrencesOf(LabelId L, const Deadline &D,
+                       std::vector<ExprId> &Out);
+  /// One set per occurrence; `Done[I]` false for slots a governed batch
+  /// left unanswered (status then says why).
+  Status allLabels(const Deadline &D, std::vector<DenseBitset> &Out,
+                   std::vector<char> &Done);
+
+  /// Runs the checker passes.  Requires frozen tables: a degraded epoch
+  /// returns `FailedPrecondition` (lint needs the subtransitive graph's
+  /// ports, which the cubic and partial rungs never build).
+  Status lint(const std::vector<std::string> &Passes, const Deadline &D,
+              unsigned Threads, LintResult &Out);
+
+private:
+  uint64_t EpochId;
+  std::unique_ptr<Module> M;
+  // Live path (cache miss): the ladder owns graph/frozen/engine.
+  std::unique_ptr<HybridCFA> Hybrid;
+  // Mapped path (cache hit): the snapshot owns the tables, Q queries it.
+  std::unique_ptr<LoadedSnapshot> Snap;
+  std::unique_ptr<QueryEngine> MappedEngine;
+
+  /// The engine serving point/batch queries, or null when degraded.
+  QueryEngine *Q = nullptr;
+
+  std::mutex Mu; ///< serializes engine scratch across worker threads
+};
+
+/// The daemon's epoch registry: one current epoch, swapped atomically on
+/// `load`; superseded epochs live until their last in-flight reference
+/// drains.
+class EpochManager {
+public:
+  /// The epoch new requests resolve against; null before the first load.
+  std::shared_ptr<Epoch> current() const;
+
+  /// A fresh monotonically increasing epoch id (first id is 1).
+  uint64_t allocateId();
+
+  /// Installs \p E as current; counts `serve.epoch_retirements` when it
+  /// supersedes one.  The returned previous epoch (possibly null) keeps
+  /// the caller in control of where the old mapping is released.
+  std::shared_ptr<Epoch> install(std::shared_ptr<Epoch> E);
+
+private:
+  mutable std::mutex Mu;
+  std::shared_ptr<Epoch> Cur;
+  uint64_t NextId = 0;
+};
+
+} // namespace serve
+} // namespace stcfa
+
+#endif // STCFA_SERVE_EPOCH_H

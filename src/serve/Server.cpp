@@ -1,0 +1,682 @@
+//===-- serve/Server.cpp - The stcfa analysis daemon ----------------------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "core/LabelSetKernel.h"
+#include "parser/Parser.h"
+#include "sema/Infer.h"
+#include "support/Diagnostics.h"
+#include "support/FaultInjection.h"
+#include "support/Metrics.h"
+#include "support/Timer.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <unistd.h>
+
+using namespace stcfa;
+using namespace stcfa::serve;
+
+namespace {
+
+/// The daemon's snapshot-cache configuration string.  Loads always run
+/// the hybrid ladder, so daemon keys never collide with batch-mode keys
+/// (which only cache the subtransitive/poly analyses).
+constexpr const char *ServeCacheConfig =
+    "analysis=hybrid;congruence=bytype;policy=paper";
+
+void writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len != 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // a dead pipe: nothing sensible left to do with the reply
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+}
+
+JsonValue labelArray(const DenseBitset &Set) {
+  JsonValue Arr = JsonValue::array();
+  Set.forEach([&](uint32_t L) { Arr.push(JsonValue::number(int64_t(L))); });
+  return Arr;
+}
+
+JsonValue universalLabelArray(uint32_t NumLabels) {
+  JsonValue Arr = JsonValue::array();
+  for (uint32_t L = 0; L != NumLabels; ++L)
+    Arr.push(JsonValue::number(int64_t(L)));
+  return Arr;
+}
+
+/// Reads an optional non-negative integer field with an upper bound.
+Status readIndex(const JsonValue *Params, const char *Name, uint32_t Limit,
+                 bool &Present, uint32_t &Out) {
+  Present = false;
+  const JsonValue *V = Params ? Params->field(Name) : nullptr;
+  if (!V)
+    return Status::ok();
+  if (!V->isInt() || V->asInt() < 0)
+    return Status::invalidArgument(std::string("'") + Name +
+                                   "' must be a non-negative integer");
+  if (static_cast<uint64_t>(V->asInt()) >= Limit)
+    return Status::invalidArgument(std::string("'") + Name + "' " +
+                                   std::to_string(V->asInt()) +
+                                   " out of range (limit " +
+                                   std::to_string(Limit) + ")");
+  Present = true;
+  Out = static_cast<uint32_t>(V->asInt());
+  return Status::ok();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Admission
+//===----------------------------------------------------------------------===//
+
+Admission::Decision Admission::admit(uint64_t Cost) {
+  static Gauge &InflightGauge = gauge("serve.inflight_cost");
+  const uint64_t Hard = Soft > UINT64_MAX / 2 ? UINT64_MAX : 2 * Soft;
+  uint64_t After = Inflight.fetch_add(Cost, std::memory_order_relaxed) + Cost;
+  if (After > Hard) {
+    Inflight.fetch_sub(Cost, std::memory_order_relaxed);
+    return Decision::Shed;
+  }
+  InflightGauge.set(static_cast<int64_t>(After));
+  return After <= Soft ? Decision::Full : Decision::Degraded;
+}
+
+void Admission::release(uint64_t Cost) {
+  static Gauge &InflightGauge = gauge("serve.inflight_cost");
+  uint64_t After = Inflight.fetch_sub(Cost, std::memory_order_relaxed) - Cost;
+  InflightGauge.set(static_cast<int64_t>(After));
+}
+
+//===----------------------------------------------------------------------===//
+// Server lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(int InFd, int OutFd, ServeOptions O)
+    : InFd(InFd), OutFd(OutFd), Opts(std::move(O)),
+      Gate(Opts.MaxInflightCost) {
+  unsigned N = Opts.Threads ? Opts.Threads : 1;
+  Workers.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Workers.emplace_back([this] {
+      for (;;) {
+        std::function<void()> Job;
+        {
+          std::unique_lock<std::mutex> Lock(QueueMu);
+          QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+          if (Queue.empty())
+            return; // Stopping and drained
+          Job = std::move(Queue.front());
+          Queue.pop_front();
+          ++Busy;
+        }
+        Job();
+        {
+          std::lock_guard<std::mutex> Lock(QueueMu);
+          --Busy;
+        }
+        IdleCv.notify_all();
+      }
+    });
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void Server::enqueue(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Queue.push_back(std::move(Job));
+  }
+  QueueCv.notify_one();
+}
+
+void Server::drainWorkers() {
+  std::unique_lock<std::mutex> Lock(QueueMu);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && Busy == 0; });
+}
+
+//===----------------------------------------------------------------------===//
+// Accept path
+//===----------------------------------------------------------------------===//
+
+bool Server::readLine(std::string &Line, Status &LineStatus) {
+  LineStatus = Status::ok();
+  Line.clear();
+  // The accept-allocation fault: the same outcome as the line buffer's
+  // growth failing — the request's bytes are drained, not stored, and a
+  // structured out-of-memory reply goes out.
+  bool Faulted = faultFires(fault::ServeAcceptAlloc);
+  bool Oversized = false;
+  for (;;) {
+    size_t Nl = Pending.find('\n');
+    size_t Take = Nl == std::string::npos ? Pending.size() : Nl;
+    if (!Faulted && !Oversized) {
+      if (Line.size() + Take > Opts.MaxRequestBytes)
+        Oversized = true;
+      else
+        Line.append(Pending.data(), Take);
+    }
+    Pending.erase(0, Nl == std::string::npos ? Pending.size() : Nl + 1);
+    if (Nl != std::string::npos || (SawEof && (!Line.empty() || Oversized))) {
+      if (Faulted) {
+        Line.clear();
+        LineStatus =
+            Status::outOfMemory("accept: line buffer allocation failed");
+      } else if (Oversized) {
+        Line.clear();
+        LineStatus = Status::invalidArgument(
+            "request exceeds the " + std::to_string(Opts.MaxRequestBytes) +
+            "-byte line cap");
+      }
+      return true;
+    }
+    if (SawEof)
+      return false;
+    char Buf[65536];
+    ssize_t N = ::read(InFd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      SawEof = true;
+      continue;
+    }
+    if (N == 0) {
+      SawEof = true;
+      continue;
+    }
+    Pending.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+int Server::run() {
+  std::string Line;
+  Status LineStatus = Status::ok();
+  while (!ShutdownRequested && readLine(Line, LineStatus)) {
+    if (!LineStatus.isOk()) {
+      replyError(JsonValue::null(), LineStatus);
+      continue;
+    }
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue; // blank keep-alive line
+    handleLine(Line);
+  }
+  // EOF or shutdown: finish whatever was admitted, then leave.  The
+  // destructor joins the (now idle) workers.
+  drainWorkers();
+  return 0;
+}
+
+void Server::handleLine(const std::string &Line) {
+  static Counter &Requests = counter("serve.requests");
+  Requests.inc();
+  JsonValue Doc;
+  if (Status S = parseJson(Line, Doc); !S.isOk()) {
+    replyError(JsonValue::null(), S);
+    return;
+  }
+  ServeRequest Req;
+  if (Status S = validateRequest(std::move(Doc), Req); !S.isOk()) {
+    replyError(Req.Id, S);
+    return;
+  }
+  dispatch(std::move(Req));
+}
+
+void Server::dispatch(ServeRequest Req) {
+  static Counter &Sheds = counter("serve.sheds");
+  static Counter &Degraded = counter("serve.degraded");
+  switch (Req.V) {
+  case Verb::Load:
+    handleLoad(Req);
+    return;
+  case Verb::Metrics:
+    handleMetrics(Req);
+    return;
+  case Verb::Shutdown:
+    drainWorkers();
+    {
+      JsonValue Result = JsonValue::object();
+      Result.set("shutdown", JsonValue::boolean(true));
+      reply(renderOkReply(Req.Id, Result));
+    }
+    ShutdownRequested = true;
+    return;
+  case Verb::Query:
+  case Verb::Lint:
+    break;
+  }
+
+  // Epoch resolution happens HERE, on the accept thread: a later `load`
+  // must not change this request's answers.
+  std::shared_ptr<Epoch> E = Epochs.current();
+  if (!E) {
+    replyError(Req.Id,
+               Status::failedPrecondition("no epoch loaded; send a "
+                                          "'load' request first"));
+    return;
+  }
+  const uint64_t Cost = E->cost();
+  Admission::Decision Decision = Gate.admit(Cost);
+  if (Decision == Admission::Decision::Shed) {
+    Sheds.inc();
+    replyError(Req.Id,
+               Status::resourceExhausted(
+                   "admission budget exhausted (" +
+                   std::to_string(Gate.inflight()) + " node-units in "
+                   "flight); retry when in-flight work drains"));
+    return;
+  }
+  const bool IsDegraded = Decision == Admission::Decision::Degraded;
+  if (IsDegraded) {
+    Degraded.inc();
+    if (Req.V == Verb::Lint) {
+      // Lint has no partial-answer rung: its findings would be garbage
+      // under universal sets, so over the soft budget it sheds.
+      Gate.release(Cost);
+      Sheds.inc();
+      replyError(Req.Id, Status::resourceExhausted(
+                             "admission budget exceeded and lint cannot "
+                             "serve a degraded answer; retry later"));
+      return;
+    }
+  }
+  bool IsQuery = Req.V == Verb::Query;
+  enqueue([this, Req = std::move(Req), E = std::move(E), Cost, IsDegraded,
+           IsQuery]() mutable {
+    if (IsQuery)
+      handleQuery(Req, E, IsDegraded);
+    else
+      handleLint(Req, E);
+    E.reset(); // drop the epoch ref before releasing admission units
+    Gate.release(Cost);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Verbs
+//===----------------------------------------------------------------------===//
+
+Deadline Server::requestDeadline(const ServeRequest &Req) const {
+  if (Req.Params)
+    if (const JsonValue *Ms = Req.Params->field("deadline_ms"))
+      if (Ms->isInt() && Ms->asInt() >= 0)
+        return Deadline::afterMillis(Ms->asInt());
+  if (Opts.DefaultDeadlineMs >= 0)
+    return Deadline::afterMillis(Opts.DefaultDeadlineMs);
+  return Deadline::infinite();
+}
+
+void Server::handleLoad(const ServeRequest &Req) {
+  static Counter &Loads = counter("serve.loads");
+  static Histogram &Millis =
+      histogram("serve.request_millis", latencyBucketsMillis());
+  Loads.inc();
+  Timer T;
+
+  const JsonValue *Src = Req.Params ? Req.Params->field("source") : nullptr;
+  if (!Src || !Src->isString()) {
+    replyError(Req.Id, Status::invalidArgument(
+                           "'load' needs params.source (program text)"));
+    return;
+  }
+  const std::string &Source = Src->asString();
+  Deadline D = requestDeadline(Req);
+
+  const size_t KernelThreshold =
+      Opts.KernelThreshold >= 0
+          ? static_cast<size_t>(Opts.KernelThreshold)
+          : QueryEngine::DefaultKernelThreshold;
+
+  // The parsed module is needed on every path: queries resolve the root
+  // occurrence through it and lint walks it even over a mapped snapshot.
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = parseProgram(Source, Diags);
+  if (!M) {
+    std::string Rendered = Diags.render();
+    while (!Rendered.empty() && Rendered.back() == '\n')
+      Rendered.pop_back();
+    replyError(Req.Id, Status::invalidArgument("parse failed: " + Rendered));
+    return;
+  }
+  DiagnosticEngine InferDiags;
+  (void)inferTypes(*M, InferDiags); // untyped programs still analyze
+
+  uint64_t CacheKey = 0;
+  std::string CachePath;
+  const char *CacheOutcome = "off";
+  if (Opts.SnapshotCache) {
+    CacheKey = snapshotCacheKey(Source, ServeCacheConfig);
+    CachePath =
+        snapshotCachePath(snapshotCacheDir(Opts.SnapshotDir), CacheKey);
+    Status CacheStatus = Status::ok();
+    if (std::unique_ptr<LoadedSnapshot> Snap =
+            LoadedSnapshot::load(CachePath, CacheStatus)) {
+      if (Snap->contentHash() == CacheKey &&
+          Snap->frozen().numExprs() == M->numExprs()) {
+        counter("snapshot.cache-hits").inc();
+        touchSnapshotEntry(CachePath); // a hit refreshes the LRU order
+        auto E = std::make_shared<Epoch>(Epochs.allocateId(), std::move(M),
+                                         std::move(Snap), Opts.Threads,
+                                         KernelThreshold);
+        Epochs.install(E);
+        JsonValue Result = JsonValue::object();
+        Result.set("epoch", JsonValue::number(int64_t(E->id())));
+        Result.set("engine", JsonValue::string(E->engine()));
+        Result.set("cache", JsonValue::string("hit"));
+        Result.set("exprs", JsonValue::number(int64_t(E->numExprs())));
+        Result.set("labels", JsonValue::number(int64_t(E->numLabels())));
+        Result.set("nodes",
+                   JsonValue::number(int64_t(E->frozen()->numNodes())));
+        reply(renderOkReply(Req.Id, Result));
+        Millis.observe(static_cast<uint64_t>(T.millis()));
+        return;
+      }
+      Snap.reset(); // key collision: rebuild rather than serve wrong answers
+    }
+    counter("snapshot.cache-misses").inc();
+    CacheOutcome = "miss";
+  }
+
+  HybridOptions HO;
+  HO.Threads = Opts.Threads;
+  HO.D = D;
+  HO.Degrade = Opts.Degrade == "off"       ? DegradeMode::Off
+               : Opts.Degrade == "partial" ? DegradeMode::Partial
+                                           : DegradeMode::Standard;
+  HO.KernelThreshold = KernelThreshold;
+  auto Hybrid = std::make_unique<HybridCFA>(*M, HO);
+  if (Status S = Hybrid->solve(); !S.isOk()) {
+    replyError(Req.Id, S);
+    return;
+  }
+
+  // Write-through: persist the freshly frozen tables under the cache key
+  // so the *next* daemon process warms up with one mmap.  A failed fill
+  // never fails the load.
+  if (Opts.SnapshotCache && Hybrid->frozen() &&
+      Hybrid->frozen()->status().isOk()) {
+    Status WS = ensureSnapshotDir(snapshotCacheDir(Opts.SnapshotDir));
+    if (WS.isOk()) {
+      SnapshotWriteOptions WO;
+      WO.ContentHash = CacheKey;
+      std::unique_ptr<LabelSetKernel> Kern;
+      if (M->numLabels() != 0) {
+        Kern = std::make_unique<LabelSetKernel>(*Hybrid->frozen(),
+                                                Opts.Threads);
+        if (Kern->run().isOk())
+          WO.Kernel = Kern.get();
+        else
+          Kern.reset();
+      }
+      WS = writeSnapshot(CachePath, *Hybrid->frozen(), *M, WO);
+    }
+    if (!WS.isOk())
+      std::fprintf(stderr, "warning: snapshot cache fill failed: %s\n",
+                   WS.toString().c_str());
+    else if (Opts.SnapshotCacheMaxBytes != 0)
+      enforceSnapshotCacheBudget(snapshotCacheDir(Opts.SnapshotDir),
+                                 Opts.SnapshotCacheMaxBytes);
+  }
+
+  auto E = std::make_shared<Epoch>(Epochs.allocateId(), std::move(M),
+                                   std::move(Hybrid));
+  Epochs.install(E);
+  JsonValue Result = JsonValue::object();
+  Result.set("epoch", JsonValue::number(int64_t(E->id())));
+  Result.set("engine", JsonValue::string(E->engine()));
+  Result.set("cache", JsonValue::string(CacheOutcome));
+  Result.set("exprs", JsonValue::number(int64_t(E->numExprs())));
+  Result.set("labels", JsonValue::number(int64_t(E->numLabels())));
+  Result.set("nodes",
+             JsonValue::number(
+                 int64_t(E->frozen() ? E->frozen()->numNodes() : 0)));
+  reply(renderOkReply(Req.Id, Result));
+  Millis.observe(static_cast<uint64_t>(T.millis()));
+}
+
+void Server::handleMetrics(const ServeRequest &Req) {
+  // The exporter pretty-prints; the protocol is one line per reply, so
+  // round-trip through the serve parser to compact it.
+  JsonValue V;
+  if (Status S = parseJson(snapshotMetrics().toJson(), V); !S.isOk()) {
+    replyError(Req.Id,
+               Status::internal("metrics rendering failed: " + S.message()));
+    return;
+  }
+  reply(renderOkReply(Req.Id, V));
+}
+
+void Server::handleQuery(const ServeRequest &Req,
+                         const std::shared_ptr<Epoch> &E, bool Degraded) {
+  static Counter &Queries = counter("serve.queries");
+  static Histogram &Millis =
+      histogram("serve.request_millis", latencyBucketsMillis());
+  Queries.inc();
+  Timer T;
+
+  std::string Kind = "labels";
+  if (Req.Params)
+    if (const JsonValue *K = Req.Params->field("kind")) {
+      if (!K->isString()) {
+        replyError(Req.Id,
+                   Status::invalidArgument("'kind' must be a string"));
+        return;
+      }
+      Kind = K->asString();
+    }
+  bool HasExpr = false, HasLabel = false;
+  uint32_t ExprIdx = 0, LabelIdx = 0;
+  if (Status S = readIndex(Req.Params, "expr", E->numExprs(), HasExpr,
+                           ExprIdx);
+      !S.isOk()) {
+    replyError(Req.Id, S);
+    return;
+  }
+  if (Status S = readIndex(Req.Params, "label", E->numLabels(), HasLabel,
+                           LabelIdx);
+      !S.isOk()) {
+    replyError(Req.Id, S);
+    return;
+  }
+  ExprId Target = HasExpr ? ExprId(ExprIdx) : E->root();
+  Deadline D = requestDeadline(Req);
+
+  JsonValue Result = JsonValue::object();
+  Result.set("epoch", JsonValue::number(int64_t(E->id())));
+  Result.set("engine",
+             JsonValue::string(Degraded ? "partial" : E->engine()));
+  if (Degraded)
+    Result.set("degraded", JsonValue::boolean(true));
+
+  if (Kind == "labels") {
+    if (Degraded) {
+      Result.set("labels", universalLabelArray(E->numLabels()));
+    } else {
+      DenseBitset Set;
+      if (Status S = E->labelsOf(Target, D, Set); !S.isOk()) {
+        replyError(Req.Id, S);
+        return;
+      }
+      Result.set("labels", labelArray(Set));
+    }
+  } else if (Kind == "is-label-in") {
+    if (!HasLabel) {
+      replyError(Req.Id, Status::invalidArgument(
+                             "'is-label-in' needs params.label"));
+      return;
+    }
+    bool Value = true; // the universal superset answers yes
+    if (!Degraded) {
+      if (Status S = E->isLabelIn(Target, LabelId(LabelIdx), D, Value);
+          !S.isOk()) {
+        replyError(Req.Id, S);
+        return;
+      }
+    }
+    Result.set("value", JsonValue::boolean(Value));
+  } else if (Kind == "occurrences") {
+    if (!HasLabel) {
+      replyError(Req.Id, Status::invalidArgument(
+                             "'occurrences' needs params.label"));
+      return;
+    }
+    JsonValue Arr = JsonValue::array();
+    if (Degraded) {
+      for (uint32_t I = 0, N = E->numExprs(); I != N; ++I)
+        Arr.push(JsonValue::number(int64_t(I)));
+    } else {
+      std::vector<ExprId> Occ;
+      if (Status S = E->occurrencesOf(LabelId(LabelIdx), D, Occ);
+          !S.isOk()) {
+        replyError(Req.Id, S);
+        return;
+      }
+      for (ExprId Id : Occ)
+        Arr.push(JsonValue::number(int64_t(Id.index())));
+    }
+    Result.set("exprs", std::move(Arr));
+  } else if (Kind == "all-labels") {
+    if (Degraded) {
+      // Bounded degraded answer: one universal set stands for every
+      // occurrence instead of materializing exprs x labels ids.
+      Result.set("universal", JsonValue::boolean(true));
+      Result.set("labels", universalLabelArray(E->numLabels()));
+    } else {
+      std::vector<DenseBitset> Sets;
+      std::vector<char> Done;
+      Status S = E->allLabels(D, Sets, Done);
+      if (!S.isOk()) {
+        replyError(Req.Id, S);
+        return;
+      }
+      JsonValue Arr = JsonValue::array();
+      for (uint32_t I = 0, N = E->numExprs(); I != N; ++I) {
+        if (!Done[I] || Sets[I].empty())
+          continue;
+        JsonValue Row = JsonValue::object();
+        Row.set("expr", JsonValue::number(int64_t(I)));
+        Row.set("labels", labelArray(Sets[I]));
+        Arr.push(std::move(Row));
+      }
+      Result.set("sets", std::move(Arr));
+    }
+  } else {
+    replyError(Req.Id,
+               Status::invalidArgument(
+                   "unknown query kind '" + Kind +
+                   "' (labels|all-labels|is-label-in|occurrences)"));
+    return;
+  }
+  reply(renderOkReply(Req.Id, Result));
+  Millis.observe(static_cast<uint64_t>(T.millis()));
+}
+
+void Server::handleLint(const ServeRequest &Req,
+                        const std::shared_ptr<Epoch> &E) {
+  static Counter &Lints = counter("serve.lints");
+  static Histogram &Millis =
+      histogram("serve.request_millis", latencyBucketsMillis());
+  Lints.inc();
+  Timer T;
+
+  std::vector<std::string> Passes;
+  if (Req.Params)
+    if (const JsonValue *P = Req.Params->field("passes")) {
+      if (!P->isArray()) {
+        replyError(Req.Id, Status::invalidArgument(
+                               "'passes' must be an array of pass ids"));
+        return;
+      }
+      for (const JsonValue &Id : P->items()) {
+        if (!Id.isString() || !LintEngine::findPass(Id.asString())) {
+          replyError(Req.Id,
+                     Status::invalidArgument(
+                         "unknown lint pass" +
+                         (Id.isString() ? " '" + Id.asString() + "'"
+                                        : std::string(" (non-string id)"))));
+          return;
+        }
+        Passes.push_back(Id.asString());
+      }
+    }
+
+  LintResult LR;
+  if (Status S = E->lint(Passes, requestDeadline(Req), Opts.Threads, LR);
+      !S.isOk()) {
+    replyError(Req.Id, S);
+    return;
+  }
+
+  JsonValue Findings = JsonValue::array();
+  for (const LintPassReport &R : LR.Reports)
+    for (const LintDiagnostic &Diag : R.Findings) {
+      JsonValue F = JsonValue::object();
+      F.set("pass", JsonValue::string(Diag.RuleId));
+      F.set("severity",
+            JsonValue::string(lintSeverityName(Diag.Severity)));
+      F.set("message", JsonValue::string(Diag.Message));
+      F.set("line", JsonValue::number(int64_t(Diag.Range.Begin.Line)));
+      F.set("col", JsonValue::number(int64_t(Diag.Range.Begin.Col)));
+      Findings.push(std::move(F));
+    }
+  JsonValue Result = JsonValue::object();
+  Result.set("epoch", JsonValue::number(int64_t(E->id())));
+  Result.set("engine", JsonValue::string(E->engine()));
+  Result.set("findings", std::move(Findings));
+  Result.set("errors", JsonValue::number(int64_t(LR.NumErrors)));
+  Result.set("warnings", JsonValue::number(int64_t(LR.NumWarnings)));
+  Result.set("notes", JsonValue::number(int64_t(LR.NumNotes)));
+  Result.set("partial", JsonValue::boolean(LR.anyPartial()));
+  reply(renderOkReply(Req.Id, Result));
+  Millis.observe(static_cast<uint64_t>(T.millis()));
+}
+
+//===----------------------------------------------------------------------===//
+// Reply path
+//===----------------------------------------------------------------------===//
+
+void Server::reply(const std::string &Line) {
+  static Counter &Replies = counter("serve.replies");
+  Replies.inc();
+  // The reply-write fault: serialization failed after the work was done.
+  // The fallback is a preformatted static line — no allocation on the
+  // failure path — so the client still gets a parseable reply and the
+  // stream stays line-synchronized.
+  if (faultFires(fault::ServeReplyWrite)) {
+    static const char Fallback[] =
+        "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"internal\","
+        "\"message\":\"reply serialization failed\"}}\n";
+    std::lock_guard<std::mutex> Lock(WriteMu);
+    writeAll(OutFd, Fallback, sizeof(Fallback) - 1);
+    return;
+  }
+  std::string Out = Line;
+  Out += '\n';
+  std::lock_guard<std::mutex> Lock(WriteMu);
+  writeAll(OutFd, Out.data(), Out.size());
+}
+
+void Server::replyError(const JsonValue &Id, const Status &S) {
+  static Counter &Errors = counter("serve.errors");
+  Errors.inc();
+  reply(renderErrorReply(Id, S));
+}

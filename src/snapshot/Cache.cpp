@@ -15,12 +15,20 @@
 
 #include "snapshot/Snapshot.h"
 #include "support/Hashing.h"
+#include "support/Metrics.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
+#include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/time.h>
+#include <unistd.h>
 
 using namespace stcfa;
 
@@ -62,4 +70,67 @@ Status stcfa::ensureSnapshotDir(const std::string &Dir) {
                               "'");
   }
   return Status::ok();
+}
+
+namespace {
+struct CacheEntry {
+  std::string Path;
+  uint64_t Bytes;
+  time_t Mtime;
+};
+
+bool isSnapshotEntry(const char *Name) {
+  constexpr const char *Suffix = ".stcfa-snap";
+  size_t N = std::strlen(Name), S = std::strlen(Suffix);
+  return N > S && std::strcmp(Name + (N - S), Suffix) == 0;
+}
+} // namespace
+
+size_t stcfa::enforceSnapshotCacheBudget(const std::string &Dir,
+                                         uint64_t MaxBytes) {
+  static Counter &Evictions = counter("snapshot.cache-evictions");
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return 0; // a missing directory is an empty (and thus bounded) cache
+  std::vector<CacheEntry> Entries;
+  uint64_t Total = 0;
+  while (const dirent *E = ::readdir(D)) {
+    if (!isSnapshotEntry(E->d_name))
+      continue; // never touch files the cache didn't write
+    std::string Path = Dir + "/" + E->d_name;
+    struct stat St;
+    if (::stat(Path.c_str(), &St) != 0 || !S_ISREG(St.st_mode))
+      continue;
+    Total += static_cast<uint64_t>(St.st_size);
+    Entries.push_back(
+        {std::move(Path), static_cast<uint64_t>(St.st_size), St.st_mtime});
+  }
+  ::closedir(D);
+  if (Total <= MaxBytes)
+    return 0;
+  // Oldest mtime first; fills and hits both refresh it, so this is LRU.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const CacheEntry &A, const CacheEntry &B) {
+              return A.Mtime != B.Mtime ? A.Mtime < B.Mtime
+                                        : A.Path < B.Path;
+            });
+  size_t Evicted = 0;
+  for (const CacheEntry &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    if (::unlink(E.Path.c_str()) != 0)
+      continue; // raced with another process; its unlink counts the bytes
+    Total -= E.Bytes;
+    ++Evicted;
+    Evictions.inc();
+  }
+  return Evicted;
+}
+
+void stcfa::touchSnapshotEntry(const std::string &Path) {
+#ifdef __APPLE__
+  ::utimes(Path.c_str(), nullptr);
+#else
+  ::utimensat(AT_FDCWD, Path.c_str(), nullptr, 0);
+#endif
 }

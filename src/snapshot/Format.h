@@ -49,7 +49,9 @@ inline constexpr char SnapshotMagic[8] = {'S', 'T', 'C', 'F',
                                           'A', 'S', 'N', 'P'};
 
 /// Bumped on any layout change; mismatches are rejected, never migrated.
-inline constexpr uint32_t SnapshotFormatVersion = 1;
+/// Version 2 added the `RanOf` section (flat ran-port map, so
+/// lint-over-snapshot never needs the source graph).
+inline constexpr uint32_t SnapshotFormatVersion = 2;
 
 /// Written as-is by the host; a foreign-endian reader sees it permuted.
 inline constexpr uint32_t SnapshotEndianTag = 0x01020304;
@@ -85,10 +87,11 @@ enum class SnapshotSectionId : uint32_t {
   ExprNameOffsets = 13, ///< uint32[NumExprs + 1], offsets into StringBlob
   LabelNameOffsets = 14,///< uint32[NumLabels + 1], offsets into StringBlob
   SourceRanges = 15,    ///< uint32[4 * NumExprs]: begin/end line/col
+  RanOf = 16,           ///< uint32[NumNodes]: ran-port node or None
 };
 
 /// Number of distinct section ids defined by this format version.
-inline constexpr uint32_t SnapshotNumSectionIds = 16;
+inline constexpr uint32_t SnapshotNumSectionIds = 17;
 
 /// The 64-byte file header.  `HeaderChecksum` covers bytes [0, 56).
 struct SnapshotHeader {

@@ -231,6 +231,8 @@ std::unique_ptr<LoadedSnapshot> LoadedSnapshot::load(const std::string &Path,
       checkArray(SnapshotSectionId::LabelRoots, 2 * uint64_t(Meta.NumLabels),
                  4);
   const SnapshotSectionEntry *Scc = checkArray(SnapshotSectionId::SccOf, N, 4);
+  const SnapshotSectionEntry *RanE =
+      checkArray(SnapshotSectionId::RanOf, N, 4);
   const SnapshotSectionEntry *EOffs =
       checkArray(SnapshotSectionId::ExprNameOffsets,
                  uint64_t(Meta.NumExprs) + 1, 4);
@@ -241,7 +243,7 @@ std::unique_ptr<LoadedSnapshot> LoadedSnapshot::load(const std::string &Path,
       SnapshotSectionId::SourceRanges, 4 * uint64_t(Meta.NumExprs), 4);
   const SnapshotSectionEntry *BlobE = need(SnapshotSectionId::StringBlob);
   if (!OutOff || !OutTgt || !InOff || !InTgt || !LabAt || !Ops || !NOfE ||
-      !NOfV || !LRoots || !Scc || !EOffs || !LOffs || !SrcR || !BlobE)
+      !NOfV || !LRoots || !Scc || !RanE || !EOffs || !LOffs || !SrcR || !BlobE)
     return reject("a required section is missing or sized inconsistently "
                   "with the meta counts");
   if (Meta.NumExprs != 0 && Meta.RootExpr >= Meta.NumExprs)
@@ -288,6 +290,7 @@ std::unique_ptr<LoadedSnapshot> LoadedSnapshot::load(const std::string &Path,
   Tb.LabelRoots = sectionSpan<uint32_t>(Base, *LRoots);
   Tb.SccOf = sectionSpan<uint32_t>(Base, *Scc);
   Tb.NumSccs = Meta.NumSccs;
+  Tb.RanOf = sectionSpan<uint32_t>(Base, *RanE);
   Snap->F = FrozenGraph::fromTables(Tb);
   Snap->Map = std::move(Map);
   Snap->ContentHash = H.ContentHash;

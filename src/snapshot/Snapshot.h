@@ -179,6 +179,19 @@ std::string snapshotCachePath(const std::string &Dir, uint64_t Key);
 /// Creates \p Dir (and missing parents) if needed.
 Status ensureSnapshotDir(const std::string &Dir);
 
+/// Bounds the cache directory to \p MaxBytes by deleting `*.stcfa-snap`
+/// entries oldest-mtime-first (LRU: loads and fills both refresh mtime)
+/// until the remaining entries fit.  Counts each unlink in the
+/// `snapshot.cache-evictions` counter and returns how many entries were
+/// evicted.  A missing directory is an empty cache (returns 0);
+/// non-snapshot files are never touched.
+size_t enforceSnapshotCacheBudget(const std::string &Dir, uint64_t MaxBytes);
+
+/// Refreshes \p Path's mtime (best-effort) so the LRU eviction order
+/// tracks cache *hits*, not just fills.  Call after serving a snapshot
+/// from the cache.
+void touchSnapshotEntry(const std::string &Path);
+
 } // namespace stcfa
 
 #endif // STCFA_SNAPSHOT_SNAPSHOT_H

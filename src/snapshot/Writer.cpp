@@ -133,6 +133,7 @@ Status stcfa::writeSnapshot(const std::string &Path, const FrozenGraph &F,
       {SnapshotSectionId::LabelRoots, Tb.LabelRoots.data(),
        bytesOf(Tb.LabelRoots)},
       {SnapshotSectionId::SccOf, Tb.SccOf.data(), bytesOf(Tb.SccOf)},
+      {SnapshotSectionId::RanOf, Tb.RanOf.data(), bytesOf(Tb.RanOf)},
       {SnapshotSectionId::StringBlob, Blob.data(), Blob.size()},
       {SnapshotSectionId::ExprNameOffsets, ExprOffs.data(),
        bytesOf(ExprOffs)},

@@ -60,6 +60,13 @@ constexpr FaultSite Sites[] = {
     {fault::SnapshotCsrBitFlip, FaultKind::Corrupt,
      "the snapshot writer silently flips one bit in a CSR section after "
      "checksumming — a canary proving section checksums catch bit rot"},
+    {fault::ServeAcceptAlloc, FaultKind::Alloc,
+     "the daemon's request reader reports a line-buffer allocation failure"},
+    {fault::ServeRequestParse, FaultKind::Alloc,
+     "the daemon's request parser reports a mid-parse allocation failure"},
+    {fault::ServeReplyWrite, FaultKind::Alloc,
+     "the daemon's reply writer reports a serialization failure (the reply "
+     "degrades to a minimal static error line)"},
 };
 
 #if STCFA_FAULT_INJECTION

@@ -92,6 +92,9 @@ inline constexpr std::string_view SnapshotTruncate = "snapshot.truncate";
 inline constexpr std::string_view SnapshotHeaderCorrupt =
     "snapshot.header-corrupt";
 inline constexpr std::string_view SnapshotCsrBitFlip = "snapshot.csr-bit-flip";
+inline constexpr std::string_view ServeAcceptAlloc = "serve.accept-alloc";
+inline constexpr std::string_view ServeRequestParse = "serve.request-parse";
+inline constexpr std::string_view ServeReplyWrite = "serve.reply-write";
 } // namespace fault
 
 /// All registered fault points (stable order).  Available even in

@@ -29,6 +29,7 @@
 #include "snapshot/Snapshot.h"
 #include "support/FaultInjection.h"
 #include "support/Hashing.h"
+#include "support/Metrics.h"
 
 #include "TestUtil.h"
 
@@ -36,6 +37,9 @@
 #include <fstream>
 #include <memory>
 #include <vector>
+
+#include <sys/stat.h>
+#include <sys/time.h>
 
 using namespace stcfa;
 
@@ -422,6 +426,83 @@ TEST(SnapshotCache, PathAndDirHelpers) {
   const std::string Dir = testing::TempDir() + "stcfa_cache_mkdir/a/b";
   EXPECT_TRUE(ensureSnapshotDir(Dir).isOk());
   EXPECT_TRUE(ensureSnapshotDir(Dir).isOk()); // idempotent
+}
+
+//===----------------------------------------------------------------------===//
+// Size cap / LRU eviction
+//===----------------------------------------------------------------------===//
+
+namespace {
+void setMtime(const std::string &Path, time_t T) {
+  struct timeval Times[2] = {{T, 0}, {T, 0}};
+  ASSERT_EQ(::utimes(Path.c_str(), Times), 0) << Path;
+}
+
+uint64_t fileSize(const std::string &Path) {
+  struct stat St;
+  EXPECT_EQ(::stat(Path.c_str(), &St), 0) << Path;
+  return static_cast<uint64_t>(St.st_size);
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+} // namespace
+
+TEST(SnapshotCache, BudgetEvictsOldestFirstAndSparesForeignFiles) {
+  const std::string Dir = testing::TempDir() + "stcfa_cache_evict";
+  ASSERT_TRUE(ensureSnapshotDir(Dir).isOk());
+
+  // Four real snapshots with strictly increasing (backdated) mtimes —
+  // second-granularity timestamps would otherwise tie within the test.
+  Pipeline P = freezeProgram(lifeProgram());
+  ASSERT_NE(P.F, nullptr);
+  const time_t Base = 1700000000;
+  std::vector<std::string> Paths;
+  uint64_t Total = 0;
+  for (uint64_t K = 1; K <= 4; ++K) {
+    std::string Path = snapshotCachePath(Dir, K);
+    writeWithKernel(Path, P, K);
+    setMtime(Path, Base + static_cast<time_t>(K));
+    Paths.push_back(Path);
+    Total += fileSize(Path);
+  }
+  // A bystander file must never be evicted, whatever the cap.
+  const std::string Foreign = Dir + "/notes.txt";
+  writeFile(Foreign, {'h', 'i'});
+
+  const uint64_t Value = counter("snapshot.cache-evictions").value();
+
+  // Under the cap: nothing happens.
+  EXPECT_EQ(enforceSnapshotCacheBudget(Dir, Total), 0u);
+  for (const std::string &Path : Paths)
+    EXPECT_TRUE(fileExists(Path));
+
+  // One byte over: exactly the oldest entry goes.
+  EXPECT_EQ(enforceSnapshotCacheBudget(Dir, Total - 1), 1u);
+  EXPECT_FALSE(fileExists(Paths[0]));
+  EXPECT_TRUE(fileExists(Paths[1]));
+  EXPECT_TRUE(fileExists(Paths[2]));
+  EXPECT_TRUE(fileExists(Paths[3]));
+  EXPECT_EQ(counter("snapshot.cache-evictions").value(), Value + 1);
+
+  // A hit refreshes the LRU order: touch the now-oldest survivor and the
+  // next eviction round must pick its (younger-by-mtime) neighbour.
+  touchSnapshotEntry(Paths[1]);
+  uint64_t OneEntry = fileSize(Paths[3]);
+  EXPECT_EQ(enforceSnapshotCacheBudget(Dir, OneEntry + 1), 2u);
+  EXPECT_TRUE(fileExists(Paths[1])); // refreshed — survived two rounds
+  EXPECT_FALSE(fileExists(Paths[2]));
+  EXPECT_FALSE(fileExists(Paths[3]));
+  EXPECT_EQ(counter("snapshot.cache-evictions").value(), Value + 3);
+
+  // The bystander survived every round; a missing dir is an empty cache.
+  EXPECT_TRUE(fileExists(Foreign));
+  EXPECT_EQ(enforceSnapshotCacheBudget(Dir + "/nonexistent", 1), 0u);
+
+  std::remove(Foreign.c_str());
+  std::remove(Paths[1].c_str());
 }
 
 } // namespace
