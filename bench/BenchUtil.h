@@ -19,19 +19,49 @@
 #include "core/Reachability.h"
 #include "parser/Parser.h"
 #include "sema/Infer.h"
+#include "support/SimdOps.h"
 #include "support/Timer.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 namespace stcfa {
 namespace bench {
+
+/// The CPU model string from /proc/cpuinfo ("unknown" where absent) —
+/// perf trajectories across BENCH_*.json files are only interpretable
+/// with the hardware identity attached.
+inline std::string cpuModel() {
+  std::ifstream In("/proc/cpuinfo");
+  for (std::string Line; std::getline(In, Line);) {
+    if (Line.rfind("model name", 0) != 0)
+      continue;
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      break;
+    size_t Start = Line.find_first_not_of(" \t", Colon + 1);
+    return Start == std::string::npos ? "unknown" : Line.substr(Start);
+  }
+  return "unknown";
+}
+
+/// The widest row-OR path this machine supports (what the kernel would
+/// use absent `STCFA_FORCE_SCALAR`).
+inline const char *simdSupported() {
+  if (simd::pathSupported(simd::Path::Avx512))
+    return simd::pathName(simd::Path::Avx512);
+  if (simd::pathSupported(simd::Path::Avx2))
+    return simd::pathName(simd::Path::Avx2);
+  return simd::pathName(simd::Path::Scalar);
+}
 
 /// Machine-readable companion to the printed tables: collects flat
 /// records of numeric/string metrics and writes them as a JSON array to
@@ -84,7 +114,17 @@ public:
     std::vector<std::pair<std::string, std::string>> Fields;
   };
 
-  explicit JsonReport(std::string Name) : Name(std::move(Name)) {}
+  /// Every report leads with a `cpu` record — model, SIMD capability,
+  /// the path actually active in this process, and the thread count —
+  /// so numbers from different machines are never compared blind.
+  explicit JsonReport(std::string Name) : Name(std::move(Name)) {
+    record("cpu")
+        .add("cpu_model", cpuModel())
+        .add("simd", simdSupported())
+        .add("simd_path", std::string(simd::activePathName()))
+        .add("hardware_threads",
+             static_cast<unsigned>(std::thread::hardware_concurrency()));
+  }
   JsonReport(const JsonReport &) = delete;
   JsonReport &operator=(const JsonReport &) = delete;
   ~JsonReport() { write(); }

@@ -20,10 +20,19 @@
 ///   * Table 3 — the word-parallel `LabelSetKernel`: one level-scheduled
 ///     closure over the condensation vs one BFS per query, at 1, 2, and
 ///     4 lanes, plus the steady-state kernel-backed batch path.
+///   * Table 5 — kernel lane scaling over the condensation-shape stress
+///     corpus (wide/deep/diamond/skewed, src/testgen), with the
+///     schedule geometry (levels, chunks, barrier compression) and the
+///     active SIMD path per row.
+///
+/// Every timed cell is min-of-N after untimed warm-up reps (see
+/// `bestMillis`), and every report leads with a `cpu` record (model,
+/// SIMD capability, thread count), so numbers are comparable across
+/// runs and machines.
 ///
 /// Emits `BENCH_parallel.json` (Tables 1–2) and `BENCH_kernel.json`
-/// (Table 3, with a `hardware_threads` field so scaling numbers can be
-/// judged against the machine that produced them).
+/// (Tables 3–5, with a `hardware_threads` field so scaling numbers can
+/// be judged against the machine that produced them).
 ///
 /// `--kernel-smoke` runs a correctness-only check (kernel vs per-query
 /// BFS on cubic:100) and exits non-zero on any mismatch; CI wires it as
@@ -41,6 +50,7 @@
 #include "support/Metrics.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
+#include "testgen/ShapeGen.h"
 
 #include <string_view>
 #include <thread>
@@ -61,10 +71,20 @@ std::vector<Workload> workloads() {
           {"lexgen", makeLexgenLike()}};
 }
 
-/// Best-of-\p Reps wall time of \p Fn, in milliseconds (minimum, not
-/// mean: on a loaded machine the minimum tracks the cost of the code
-/// rather than of the scheduler).
+/// Untimed warm-up repetitions before every timed cell: the first
+/// passes fault the matrix pages in, populate caches and branch
+/// predictors, and let the governor ramp the clock, so the timed reps
+/// measure steady state.  (Without this, BENCH_kernel.json once showed
+/// lexgen `lanes1_ms` > `lanes2_ms` — a 1.32 "scaling" on a 1-core box
+/// that was pure cold-start noise in the first-measured cell.)
+constexpr int WarmupReps = 2;
+
+/// Best-of-\p Reps wall time of \p Fn after `WarmupReps` untimed runs,
+/// in milliseconds (minimum, not mean: on a loaded machine the minimum
+/// tracks the cost of the code rather than of the scheduler).
 template <typename FnT> double bestMillis(int Reps, FnT Fn) {
+  for (int I = 0; I != WarmupReps; ++I)
+    Fn();
   double Best = 0;
   for (int I = 0; I != Reps; ++I) {
     Timer T;
@@ -79,8 +99,13 @@ template <typename FnT> double bestMillis(int Reps, FnT Fn) {
 /// Best-of-\p Reps for two competing implementations, interleaved
 /// A,B,A,B,... so drifting machine load (frequency scaling, co-tenants)
 /// hits both sides equally instead of biasing whichever ran later.
+/// Both sides get the same untimed warm-up as `bestMillis`.
 template <typename AFnT, typename BFnT>
 std::pair<double, double> bestMillisPaired(int Reps, AFnT A, BFnT B) {
+  for (int I = 0; I != WarmupReps; ++I) {
+    A();
+    B();
+  }
   double BestA = 0, BestB = 0;
   for (int I = 0; I != Reps; ++I) {
     Timer T;
@@ -305,6 +330,74 @@ void printKernelTables() {
         .add("scaling4", Ms[2] > 0 ? Ms[0] / Ms[2] : 0);
   }
   std::printf("%s\n", T4.render().c_str());
+
+  // Table 5 — lane scaling over the condensation-shape stress corpus
+  // (src/testgen): shapes the cubic/lexgen workloads never produce.
+  // Alongside wall clock, each row records the schedule geometry —
+  // levels, chunks, and the barrier compression the chunked scheduler
+  // bought — because on a 1-core bench box the counters, not the
+  // wall-clock scaling, are what prove the scheduler works.
+  std::printf("== kernel lane scaling over condensation shapes ==\n");
+  TablePrinter T5({"shape", "sccs", "levels", "chunks", "compress", "k1(ms)",
+                   "k2(ms)", "k4(ms)", "2x", "4x"});
+  const ShapeSpec ShapeSpecs[] = {
+      {CondShape::Wide, 256, 1},
+      {CondShape::Deep, 512, 1},
+      {CondShape::Diamond, 256, 1},
+      {CondShape::Skewed, 256, 1},
+  };
+  for (const ShapeSpec &Spec : ShapeSpecs) {
+    std::string Name =
+        std::string(shapeName(Spec.Shape)) + ":" + std::to_string(Spec.N);
+    auto M = mustParse(makeShapeProgram(Spec));
+    GraphRun G = runGraph(*M);
+    FrozenGraph F(*G.Graph);
+    F.condensation();
+
+    // Schedule geometry from one un-timed closure.
+    LabelSetKernel Probe(F, /*Threads=*/1);
+    if (!Probe.run().isOk())
+      std::abort();
+    double Compression =
+        Probe.numChunks() ? double(Probe.numLevels()) / Probe.numChunks() : 0;
+
+    constexpr int Reps = 9;
+    double Ms[3];
+    unsigned LaneCounts[3] = {1, 2, 4};
+    for (int I = 0; I != 3; ++I) {
+      ThreadPool Pool(LaneCounts[I]);
+      Ms[I] = bestMillis(Reps, [&] {
+        LabelSetKernel K(F, LaneCounts[I] > 1 ? &Pool : nullptr,
+                         LaneCounts[I]);
+        if (!K.run().isOk())
+          std::abort();
+        benchmark::DoNotOptimize(K.levelsCompleted());
+      });
+    }
+
+    T5.addRow({Name, std::to_string(F.condensation().numSccs()),
+               std::to_string(Probe.numLevels()),
+               std::to_string(Probe.numChunks()),
+               TablePrinter::num(Compression, 1), TablePrinter::num(Ms[0]),
+               TablePrinter::num(Ms[1]), TablePrinter::num(Ms[2]),
+               TablePrinter::num(Ms[1] > 0 ? Ms[0] / Ms[1] : 0, 2),
+               TablePrinter::num(Ms[2] > 0 ? Ms[0] / Ms[2] : 0, 2)});
+    Report.record("kernel_shape_scaling")
+        .add("shape", Name)
+        .add("exprs", M->numExprs())
+        .add("sccs", F.condensation().numSccs())
+        .add("levels", Probe.numLevels())
+        .add("chunks", Probe.numChunks())
+        .add("barrier_compression", Compression)
+        .add("simd_path", std::string(simd::activePathName()))
+        .add("hardware_threads", HwThreads)
+        .add("kernel1_ms", Ms[0])
+        .add("kernel2_ms", Ms[1])
+        .add("kernel4_ms", Ms[2])
+        .add("scaling2", Ms[1] > 0 ? Ms[0] / Ms[1] : 0)
+        .add("scaling4", Ms[2] > 0 ? Ms[0] / Ms[2] : 0);
+  }
+  std::printf("%s\n", T5.render().c_str());
 
   Report.record("metrics_snapshot")
       .addRaw("metrics", snapshotMetrics().toJson(2));

@@ -35,8 +35,21 @@ run_preset() {
 }
 
 # Tier 1: the default build runs every registered test (unit, fuzz,
-# bench-smoke, lint-smoke, snapshot-smoke, examples).
+# bench-smoke, lint-smoke, snapshot-smoke, gen-smoke, examples).
 run_preset build ""
+
+# The SIMD seam: the kernel/bitset/generator tests rerun with the row-OR
+# dispatch pinned to the scalar path (STCFA_FORCE_SCALAR=1), so a vector
+# kernel bug shows up as a native-vs-scalar split instead of green CI on
+# machines that happen to lack AVX.  The differential shape fuzz rides
+# along — it crosses the kernel against StandardCFA, so this is the
+# bit-exactness proof for whichever path the hardware dispatched above.
+echo "=== forced-scalar rerun (STCFA_FORCE_SCALAR=1) ==="
+STCFA_FORCE_SCALAR=1 ./build/tests/stcfa_tests \
+  --gtest_filter='SimdOps.*:LabelSetKernel.*:QueryEngineKernel.*:ShapeGen.*' \
+  --gtest_brief=1
+STCFA_FORCE_SCALAR=1 ./build/tests/stcfa_fuzz_tests \
+  --gtest_filter='DifferentialFuzzShapes*' --gtest_brief=1
 
 # Snapshot round trip across *processes*: one driver invocation writes a
 # snapshot, a second serves the same query from the mapped file, and the

@@ -158,6 +158,7 @@ public:
   /// cost two offset loads per row; hot DFS loops hoist these once).
   const uint32_t *outOffsets() const { return OutOffsets.data(); }
   const uint32_t *outTargets() const { return OutTargets.data(); }
+  const uint32_t *inOffsets() const { return InOffsets.data(); }
   const uint32_t *labelArray() const { return LabelAt.data(); }
 
   /// The abstraction label carried by node \p N, or `None`.

@@ -19,20 +19,32 @@
 ///     program's L abstraction labels, never graph nodes, so the closure
 ///     costs O(n·L/64) word-ORs rather than n²/64 (L ≪ n on real
 ///     programs: most nodes carry no label).
-///   * **Level-scheduled thread-parallelism** — condensation components
-///     are grouped by DAG depth (level 0 = sinks); all components within
-///     a level are independent, so each level fans out across the
-///     `ThreadPool` lanes with one barrier per level.  Rows are padded
-///     to 64-byte cache lines, so two lanes finalizing adjacent
-///     components never write the same line (no false sharing).
+///   * **SIMD row-OR** — the inner `dst |= src` word loop runs on the
+///     runtime-dispatched path in `support/SimdOps.h` (AVX-512 / AVX2 /
+///     scalar, `STCFA_FORCE_SCALAR=1` pins scalar); the chosen path is
+///     recorded in the `kernel.simd_path` gauge (0=scalar 1=avx2
+///     2=avx512).
+///   * **Chunked level scheduling** — condensation components are
+///     grouped by DAG depth (level 0 = sinks); all components within a
+///     level are independent.  Runs of shallow levels whose total row
+///     count stays below `chunkRows()` are merged into one *chunk* and
+///     swept sequentially by a single task, so deep skinny DAGs pay
+///     O(levels/compression) barriers and governor polls instead of
+///     O(levels); a level too large to merge forms its own chunk and
+///     fans out across the `ThreadPool` lanes with one barrier.  Rows
+///     are padded to 64-byte cache lines, so two lanes finalizing
+///     adjacent components never write the same line (no false
+///     sharing), and rows are laid out level-major with the most-read
+///     components first (profile-guided by cross-edge in-degree), so a
+///     chunk sweeps contiguous warm lines.
 ///   * **Governed, resumable closure** — the deadline / cancellation
-///     token / fault sites are polled once per level (the hot word loops
+///     token / fault sites are polled once per chunk (the hot word loops
 ///     stay check-free), and an aborted run reports `Status` plus a
 ///     *well-defined* partial result: every component whose level is
 ///     below `levelsCompleted()` holds its final label set, and
 ///     `sccComplete()`/`exprComplete()` say exactly which answers are
 ///     servable.  A later `run()` resumes from the first unfinished
-///     level — completed rows are never recomputed.
+///     chunk — completed rows are never recomputed.
 ///
 /// The kernel is the batched-query backend: `QueryEngine` dispatches
 /// `labelsOf`/`occurrencesOf` batches here above a batch-size threshold,
@@ -56,6 +68,7 @@
 #include "support/Status.h"
 #include "support/ThreadPool.h"
 
+#include <cassert>
 #include <memory>
 #include <span>
 #include <vector>
@@ -109,6 +122,39 @@ public:
   /// Levels fully propagated so far; `== numLevels()` iff complete.
   uint32_t levelsCompleted() const { return LevelsDone; }
 
+  //===--- chunked scheduling ----------------------------------------------//
+
+  /// Default level-merge threshold (rows per chunk), measured on the
+  /// bench corpus: large enough to swallow the long skinny tails of
+  /// deep condensations, small enough that a merged chunk still fits in
+  /// L2 alongside the successor rows it reads.
+  static constexpr uint32_t DefaultChunkRows = 256;
+
+  /// Sets the level-merge threshold: consecutive levels are merged into
+  /// one scheduling chunk while their total row count stays <= \p Rows.
+  /// 0 (and 1) disable merging — every level is its own chunk, which
+  /// restores one governor poll per level.  Must be called before the
+  /// first `run()`; once the schedule is built the chunking is frozen
+  /// (resume points are chunk boundaries).
+  void setChunkRows(uint32_t Rows) {
+    assert(!LevelsBuilt && "chunking is frozen once the schedule is built");
+    ChunkRows = Rows;
+  }
+  uint32_t chunkRows() const { return ChunkRows; }
+
+  /// Scheduling chunks in the frozen schedule (== barrier/poll count for
+  /// a full run); meaningful once `run()` built the schedule.  Always
+  /// <= `numLevels()` — the ratio is the barrier compression the merge
+  /// bought.
+  uint32_t numChunks() const {
+    return ChunkLevelOffsets.empty()
+               ? 0
+               : static_cast<uint32_t>(ChunkLevelOffsets.size() - 1);
+  }
+
+  /// Chunks fully propagated so far; `== numChunks()` iff complete.
+  uint32_t chunksCompleted() const { return ChunksDone; }
+
   //===--- partial-result contract -----------------------------------------//
 
   /// True iff component \p Scc holds its final label set.
@@ -157,11 +203,17 @@ public:
 
 private:
   Status buildSchedule();
-  const uint64_t *row(uint32_t Scc) const {
-    return Matrix + size_t(Scc) * RowWords;
+  /// Physical row index of component \p Scc.  `RowOf` is the
+  /// profile-guided layout permutation (empty = identity, as in adopted
+  /// snapshots, whose rows are tight-packed in component-id order).
+  size_t rowIndex(uint32_t Scc) const {
+    return RowOf.empty() ? Scc : RowOf[Scc];
   }
-  uint64_t *rowMut(uint32_t Scc) { return Matrix + size_t(Scc) * RowWords; }
-  void closeComponent(uint32_t Scc);
+  const uint64_t *row(uint32_t Scc) const {
+    return Matrix + rowIndex(Scc) * RowWords;
+  }
+  uint64_t *rowMut(uint32_t Scc) { return Matrix + rowIndex(Scc) * RowWords; }
+  void closeComponent(uint32_t Scc, uint64_t &WordOrs);
 
   const FrozenGraph &F;
   ThreadPool *Pool; // borrowed or owned via OwnedPool; null = sequential
@@ -176,11 +228,22 @@ private:
   double ClosureMs = 0;
 
   // Schedule: the condensation (cached on the snapshot), nodes grouped
-  // by component (CSR), components grouped by level (CSR).
+  // by component (CSR), components grouped by level (CSR), levels
+  // merged into chunks (CSR over level indices), and the
+  // profile-guided row permutation.
   const Condensation *Cond = nullptr;
   std::vector<uint32_t> SccNodeOffsets, SccNodes;
   std::vector<uint32_t> SccLevel;
   std::vector<uint32_t> LevelOffsets, LevelComps;
+  uint32_t ChunkRows = DefaultChunkRows;
+  std::vector<uint32_t> ChunkLevelOffsets;
+  uint32_t ChunksDone = 0;
+  std::vector<uint32_t> RowOf;
+  // Per-node physical row (`RowOf[sccOf(node)]` precomputed), so the
+  // close loop maps an edge target to its row with a single load.
+  // Uninitialized-alloc array, not a vector: it is fully overwritten
+  // right after allocation and the zero-fill would be pure waste.
+  std::unique_ptr<uint32_t[]> NodeRow;
 
   // The label-set matrix: one row per component, `RowWords` 64-bit words
   // each.  `RowWords` is `WordsPerSet` rounded up to a full cache line

@@ -32,8 +32,10 @@ void QueryEngine::adoptKernel(std::unique_ptr<LabelSetKernel> K) {
 }
 
 LabelSetKernel &QueryEngine::kernelRef() {
-  if (!Kern)
+  if (!Kern) {
     Kern = std::make_unique<LabelSetKernel>(F, Pool.get(), NumThreads);
+    Kern->setChunkRows(KernelChunkRows);
+  }
   return *Kern;
 }
 

@@ -24,6 +24,7 @@
 #define STCFA_CORE_QUERYENGINE_H
 
 #include "core/FrozenGraph.h"
+#include "core/LabelSetKernel.h"
 #include "support/Deadline.h"
 #include "support/DenseBitset.h"
 #include "support/Status.h"
@@ -55,8 +56,6 @@ struct BatchOutcome {
   std::vector<char> Done;
 };
 
-class LabelSetKernel;
-
 /// Parallel batched reachability queries over a frozen graph.
 class QueryEngine {
 public:
@@ -84,6 +83,12 @@ public:
   /// Current dispatch threshold; 0 disables the kernel entirely.
   size_t kernelThreshold() const { return KernelThreshold; }
   void setKernelThreshold(size_t T) { KernelThreshold = T; }
+
+  /// Level-merge threshold handed to the lazily-built kernel
+  /// (`LabelSetKernel::setChunkRows`); takes effect only if set before
+  /// the first eligible batch builds the kernel.
+  uint32_t kernelChunkRows() const { return KernelChunkRows; }
+  void setKernelChunkRows(uint32_t Rows) { KernelChunkRows = Rows; }
 
   /// The cached kernel, or null if no eligible batch has run yet.
   const LabelSetKernel *kernel() const { return Kern.get(); }
@@ -208,6 +213,7 @@ private:
   std::unique_ptr<ThreadPool> Pool; // null when NumThreads == 1
   std::vector<Scratch> Lanes;       // one per worker lane
   size_t KernelThreshold = DefaultKernelThreshold;
+  uint32_t KernelChunkRows = LabelSetKernel::DefaultChunkRows;
   std::unique_ptr<LabelSetKernel> Kern; // built on first eligible batch
 };
 

@@ -28,6 +28,7 @@
 #include "core/Reachability.h"
 #include "gen/Corpus.h"
 #include "gen/Generators.h"
+#include "testgen/ShapeGen.h"
 #include "interp/Interpreter.h"
 #include "lint/LintEngine.h"
 #include "lint/Render.h"
@@ -64,6 +65,12 @@ struct Options {
   /// Batch size above which batched queries dispatch to the label-set
   /// kernel; -1 = flag not given (engine default), 0 = kernel disabled.
   int64_t KernelThreshold = -1;
+  /// Level-merge threshold for the kernel's chunked scheduler; -1 =
+  /// flag not given (kernel default), <= 1 = per-level barriers.
+  int64_t KernelChunkRows = -1;
+  /// `--gen-shape=<family>:<N>[:<seed>]`: print the generated stress
+  /// program and exit.
+  std::string GenShape;
   /// Wall-clock budget for the whole analysis+query pipeline; -1 = none.
   int64_t TimeoutMs = -1;
   /// Node budget for the subtransitive close phase; 0 = unlimited.
@@ -121,7 +128,12 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s [<file>|-] [options]\n"
       "  --corpus=<name>        life | lexgen[:states] | cubic:N |\n"
-      "                         joinpoint:N | random:SEED\n"
+      "                         joinpoint:N | random:SEED |\n"
+      "                         wide:N | deep:N | diamond:N | skewed:N\n"
+      "                         (condensation-shape stress programs;\n"
+      "                         optional :seed suffix)\n"
+      "  --gen-shape=<spec>     print the wide/deep/diamond/skewed:N\n"
+      "                         stress program to stdout and exit\n"
       "  --analysis=<name>      subtransitive (default) | standard |\n"
       "                         unify | poly | hybrid\n"
       "  --query=<q>            labels (root label set, default) |\n"
@@ -140,6 +152,11 @@ int usage(const char *Argv0) {
       "  --kernel-threshold=<n> batch size above which batched queries use\n"
       "                         the word-parallel label-set kernel\n"
       "                         (0 disables the kernel; default 16)\n"
+      "  --kernel-chunk-rows=<n>\n"
+      "                         kernel scheduler merges consecutive DAG\n"
+      "                         levels while their rows total <= n, cutting\n"
+      "                         barriers/polls on deep condensations\n"
+      "                         (<= 1 restores per-level; default 256)\n"
       "  --timeout-ms=<n>       wall-clock deadline over analysis + queries\n"
       "  --close-budget=<n>     node budget for the subtransitive close\n"
       "                         (subtransitive/poly analyses only)\n"
@@ -210,6 +227,8 @@ std::string loadInput(const Options &Opts, bool &Ok) {
       R.UseEffects = true;
       return makeRandomProgram(R);
     }
+    if (ShapeSpec Spec; parseShapeSpec(Opts.Corpus, Spec))
+      return makeShapeProgram(Spec);
     std::fprintf(stderr, "error: unknown corpus '%s'\n", Opts.Corpus.c_str());
     Ok = false;
     return "";
@@ -330,6 +349,8 @@ int serveFromSnapshot(const Options &Opts, const LoadedSnapshot &Snap) {
   QueryEngine Engine(F, Opts.Threads);
   if (Opts.KernelThreshold >= 0)
     Engine.setKernelThreshold(static_cast<size_t>(Opts.KernelThreshold));
+  if (Opts.KernelChunkRows >= 0)
+    Engine.setKernelChunkRows(static_cast<uint32_t>(Opts.KernelChunkRows));
   bool KernelAdopted = false;
   if (auto Kern = Snap.adoptKernel()) {
     Engine.adoptKernel(std::move(Kern));
@@ -577,6 +598,22 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opts.KernelThreshold = std::stoll(N);
+    } else if (startsWith(A, "--kernel-chunk-rows=")) {
+      std::string N = A.substr(20);
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --kernel-chunk-rows expects a number, got '%s'\n",
+                     N.c_str());
+        return 2;
+      }
+      Opts.KernelChunkRows = std::stoll(N);
+    } else if (startsWith(A, "--gen-shape=")) {
+      Opts.GenShape = A.substr(12);
+      if (Opts.GenShape.empty()) {
+        std::fprintf(stderr, "error: --gen-shape expects "
+                             "wide|deep|diamond|skewed:N[:seed]\n");
+        return 2;
+      }
     } else if (startsWith(A, "--timeout-ms=")) {
       std::string N = A.substr(13);
       if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
@@ -629,6 +666,21 @@ int main(int Argc, char **Argv) {
       Opts.InputFile = A;
     else
       return usage(Argv[0]);
+  }
+
+  // `--gen-shape` is a pure generator invocation: print the stress
+  // program (the same source `--corpus=<spec>` would analyze) and exit.
+  if (!Opts.GenShape.empty()) {
+    ShapeSpec Spec;
+    if (!parseShapeSpec(Opts.GenShape, Spec)) {
+      std::fprintf(stderr,
+                   "error: --gen-shape expects wide|deep|diamond|skewed:"
+                   "N[:seed], got '%s'\n",
+                   Opts.GenShape.c_str());
+      return 2;
+    }
+    std::fputs(makeShapeProgram(Spec).c_str(), stdout);
+    return 0;
   }
 
   // Reject mutually inconsistent flag combinations up front, before any
@@ -1024,6 +1076,8 @@ int main(int Argc, char **Argv) {
                                              : DegradeMode::Standard;
     if (Opts.KernelThreshold >= 0)
       HO.KernelThreshold = static_cast<size_t>(Opts.KernelThreshold);
+    if (Opts.KernelChunkRows >= 0)
+      HO.KernelChunkRows = static_cast<uint32_t>(Opts.KernelChunkRows);
     R.Hybrid = std::make_unique<HybridCFA>(*M, HO);
     Status S = R.Hybrid->solve();
     if (Opts.Stats) {
@@ -1068,6 +1122,9 @@ int main(int Argc, char **Argv) {
       if (Opts.KernelThreshold >= 0)
         R.Engine->setKernelThreshold(
             static_cast<size_t>(Opts.KernelThreshold));
+      if (Opts.KernelChunkRows >= 0)
+        R.Engine->setKernelChunkRows(
+            static_cast<uint32_t>(Opts.KernelChunkRows));
     } else {
       std::fprintf(stderr, "note: --frozen ignored (graph not closed or "
                            "aborted)\n");

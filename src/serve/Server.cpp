@@ -163,12 +163,18 @@ bool Server::readLine(std::string &Line, Status &LineStatus) {
   Line.clear();
   // The accept-allocation fault: the same outcome as the line buffer's
   // growth failing — the request's bytes are drained, not stored, and a
-  // structured out-of-memory reply goes out.
-  bool Faulted = faultFires(fault::ServeAcceptAlloc);
-  bool Oversized = false;
+  // structured out-of-memory reply goes out.  Polled once per line, at
+  // the first point bytes for it exist (where the growth would happen):
+  // polling at function entry instead would race a tester arming the
+  // site between this thread blocking for a request and receiving it.
+  bool Polled = false, Faulted = false, Oversized = false;
   for (;;) {
     size_t Nl = Pending.find('\n');
     size_t Take = Nl == std::string::npos ? Pending.size() : Nl;
+    if (!Polled && (Take != 0 || Nl != std::string::npos)) {
+      Polled = true;
+      Faulted = faultFires(fault::ServeAcceptAlloc);
+    }
     if (!Faulted && !Oversized) {
       if (Line.size() + Take > Opts.MaxRequestBytes)
         Oversized = true;

@@ -15,6 +15,8 @@
 #ifndef STCFA_SUPPORT_DENSEBITSET_H
 #define STCFA_SUPPORT_DENSEBITSET_H
 
+#include "support/SimdOps.h"
+
 #include <bit>
 #include <cassert>
 #include <cstddef>
@@ -61,10 +63,10 @@ public:
   /// Bulk-unions \p N raw 64-bit words into this set.  Source bits at or
   /// beyond the universe are masked off, so OR-ing from a buffer padded
   /// past the universe (the kernel's cache-line-padded rows) can never
-  /// plant ghost bits in the tail word.
+  /// plant ghost bits in the tail word.  Runs on the dispatched SIMD
+  /// path (see support/SimdOps.h).
   void orWords(const uint64_t *Src, size_t N) {
-    for (size_t W = 0, E = N < Words.size() ? N : Words.size(); W != E; ++W)
-      Words[W] |= Src[W];
+    simd::orWords(Words.data(), Src, N < Words.size() ? N : Words.size());
     if (uint32_t Rem = Universe % 64; Rem != 0 && !Words.empty())
       Words.back() &= (uint64_t(1) << Rem) - 1;
     Count = popcount();
@@ -73,10 +75,8 @@ public:
   /// Population count recomputed from the words (always equal to
   /// `count()`, which is maintained incrementally).
   uint32_t popcount() const {
-    uint32_t C = 0;
-    for (uint64_t W : Words)
-      C += static_cast<uint32_t>(std::popcount(W));
-    return C;
+    return static_cast<uint32_t>(
+        simd::popcountWords(Words.data(), Words.size()));
   }
 
   /// Unions \p Other into this set; returns the number of new elements.

@@ -1,0 +1,255 @@
+//===-- support/SimdOps.cpp - Runtime-dispatched bitset row ops -----------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SimdOps.h"
+
+#include <bit>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define STCFA_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define STCFA_SIMD_X86 0
+#endif
+
+using namespace stcfa;
+using namespace stcfa::simd;
+
+//===----------------------------------------------------------------------===//
+// Scalar reference loops
+//===----------------------------------------------------------------------===//
+
+void simd::orWordsScalar(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  for (size_t I = 0; I != Words; ++I)
+    Dst[I] |= Src[I];
+}
+
+uint64_t simd::popcountWordsScalar(const uint64_t *Src, size_t Words) {
+  uint64_t C = 0;
+  for (size_t I = 0; I != Words; ++I)
+    C += static_cast<uint64_t>(std::popcount(Src[I]));
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Vector paths (x86 only; per-function target attributes keep the rest
+// of the build baseline-portable)
+//===----------------------------------------------------------------------===//
+
+#if STCFA_SIMD_X86
+
+namespace {
+
+__attribute__((target("avx2"))) void orWordsAvx2(uint64_t *Dst,
+                                                 const uint64_t *Src,
+                                                 size_t Words) {
+  size_t I = 0;
+  // Two 256-bit lanes per iteration: 8 words in flight covers a whole
+  // cache line, and the independent ORs dual-issue.
+  for (; I + 8 <= Words; I += 8) {
+    __m256i A = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Src + I));
+    __m256i B =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Src + I + 4));
+    __m256i DA = _mm256_loadu_si256(reinterpret_cast<__m256i *>(Dst + I));
+    __m256i DB = _mm256_loadu_si256(reinterpret_cast<__m256i *>(Dst + I + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Dst + I),
+                        _mm256_or_si256(DA, A));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Dst + I + 4),
+                        _mm256_or_si256(DB, B));
+  }
+  for (; I + 4 <= Words; I += 4) {
+    __m256i A = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Src + I));
+    __m256i D = _mm256_loadu_si256(reinterpret_cast<__m256i *>(Dst + I));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Dst + I),
+                        _mm256_or_si256(D, A));
+  }
+  for (; I != Words; ++I) // the non-multiple-of-4 tail
+    Dst[I] |= Src[I];
+}
+
+__attribute__((target("avx512f"))) void orWordsAvx512(uint64_t *Dst,
+                                                      const uint64_t *Src,
+                                                      size_t Words) {
+  size_t I = 0;
+  for (; I + 8 <= Words; I += 8) {
+    __m512i A = _mm512_loadu_si512(Src + I);
+    __m512i D = _mm512_loadu_si512(Dst + I);
+    _mm512_storeu_si512(Dst + I, _mm512_or_si512(D, A));
+  }
+  if (I != Words) {
+    // Masked epilogue: one masked 512-bit OR covers any tail length, so
+    // a non-multiple-of-8 row costs one extra instruction, not a scalar
+    // loop.
+    __mmask8 M = static_cast<__mmask8>((1u << (Words - I)) - 1);
+    __m512i A = _mm512_maskz_loadu_epi64(M, Src + I);
+    __m512i D = _mm512_maskz_loadu_epi64(M, Dst + I);
+    _mm512_mask_storeu_epi64(Dst + I, M, _mm512_or_si512(D, A));
+  }
+}
+
+/// AVX2 has no vector popcount; the win over the plain loop is just
+/// unrolling around the scalar POPCNT unit (still bit-exact, still part
+/// of the dispatched seam so the tests cover it).
+__attribute__((target("popcnt"))) uint64_t popcountWordsAvx2(
+    const uint64_t *Src, size_t Words) {
+  uint64_t C0 = 0, C1 = 0, C2 = 0, C3 = 0;
+  size_t I = 0;
+  for (; I + 4 <= Words; I += 4) {
+    C0 += static_cast<uint64_t>(std::popcount(Src[I]));
+    C1 += static_cast<uint64_t>(std::popcount(Src[I + 1]));
+    C2 += static_cast<uint64_t>(std::popcount(Src[I + 2]));
+    C3 += static_cast<uint64_t>(std::popcount(Src[I + 3]));
+  }
+  for (; I != Words; ++I)
+    C0 += static_cast<uint64_t>(std::popcount(Src[I]));
+  return C0 + C1 + C2 + C3;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) uint64_t
+popcountWordsVpopcnt(const uint64_t *Src, size_t Words) {
+  __m512i Acc = _mm512_setzero_si512();
+  size_t I = 0;
+  for (; I + 8 <= Words; I += 8)
+    Acc = _mm512_add_epi64(Acc, _mm512_popcnt_epi64(_mm512_loadu_si512(Src + I)));
+  if (I != Words) {
+    __mmask8 M = static_cast<__mmask8>((1u << (Words - I)) - 1);
+    Acc = _mm512_add_epi64(
+        Acc, _mm512_popcnt_epi64(_mm512_maskz_loadu_epi64(M, Src + I)));
+  }
+  // Horizontal sum by hand: _mm512_reduce_add_epi64 expands through
+  // _mm256_undefined_si256, which GCC's -Werror=uninitialized rejects.
+  alignas(64) uint64_t Lanes[8];
+  _mm512_store_si512(Lanes, Acc);
+  return Lanes[0] + Lanes[1] + Lanes[2] + Lanes[3] + Lanes[4] + Lanes[5] +
+         Lanes[6] + Lanes[7];
+}
+
+bool cpuHasAvx2() { return __builtin_cpu_supports("avx2"); }
+bool cpuHasAvx512() { return __builtin_cpu_supports("avx512f"); }
+bool cpuHasVpopcnt() {
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512vpopcntdq");
+}
+
+} // namespace
+
+#else // !STCFA_SIMD_X86
+
+namespace {
+bool cpuHasAvx2() { return false; }
+bool cpuHasAvx512() { return false; }
+bool cpuHasVpopcnt() { return false; }
+} // namespace
+
+#endif // STCFA_SIMD_X86
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Dispatch {
+  Path P;
+  void (*Or)(uint64_t *, const uint64_t *, size_t);
+  uint64_t (*Pop)(const uint64_t *, size_t);
+};
+
+bool forceScalar() {
+  const char *E = std::getenv("STCFA_FORCE_SCALAR");
+  return E && *E && !(E[0] == '0' && E[1] == '\0');
+}
+
+Dispatch resolveDispatch() {
+  Dispatch D{Path::Scalar, &simd::orWordsScalar, &simd::popcountWordsScalar};
+  if (forceScalar())
+    return D;
+#if STCFA_SIMD_X86
+  if (cpuHasAvx512()) {
+    D.P = Path::Avx512;
+    D.Or = &orWordsAvx512;
+    D.Pop = cpuHasVpopcnt() ? &popcountWordsVpopcnt : &popcountWordsAvx2;
+    return D;
+  }
+  if (cpuHasAvx2()) {
+    D.P = Path::Avx2;
+    D.Or = &orWordsAvx2;
+    D.Pop = &popcountWordsAvx2;
+    return D;
+  }
+#endif
+  return D;
+}
+
+/// Resolved once per process; function-local static makes the first
+/// concurrent call safe.
+const Dispatch &dispatch() {
+  static const Dispatch D = resolveDispatch();
+  return D;
+}
+
+} // namespace
+
+const char *simd::pathName(Path P) {
+  switch (P) {
+  case Path::Scalar:
+    return "scalar";
+  case Path::Avx2:
+    return "avx2";
+  case Path::Avx512:
+    return "avx512";
+  }
+  return "scalar";
+}
+
+Path simd::activePath() { return dispatch().P; }
+
+bool simd::pathSupported(Path P) {
+  switch (P) {
+  case Path::Scalar:
+    return true;
+  case Path::Avx2:
+    return cpuHasAvx2();
+  case Path::Avx512:
+    return cpuHasAvx512();
+  }
+  return false;
+}
+
+void simd::orWordsDispatch(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  dispatch().Or(Dst, Src, Words);
+}
+
+uint64_t simd::popcountWordsDispatch(const uint64_t *Src, size_t Words) {
+  return dispatch().Pop(Src, Words);
+}
+
+void simd::orWordsPath(Path P, uint64_t *Dst, const uint64_t *Src,
+                       size_t Words) {
+#if STCFA_SIMD_X86
+  if (P == Path::Avx512)
+    return orWordsAvx512(Dst, Src, Words);
+  if (P == Path::Avx2)
+    return orWordsAvx2(Dst, Src, Words);
+#else
+  (void)P;
+#endif
+  orWordsScalar(Dst, Src, Words);
+}
+
+uint64_t simd::popcountWordsPath(Path P, const uint64_t *Src, size_t Words) {
+#if STCFA_SIMD_X86
+  if (P == Path::Avx512)
+    return cpuHasVpopcnt() ? popcountWordsVpopcnt(Src, Words)
+                           : popcountWordsAvx2(Src, Words);
+  if (P == Path::Avx2)
+    return popcountWordsAvx2(Src, Words);
+#else
+  (void)P;
+#endif
+  return popcountWordsScalar(Src, Words);
+}

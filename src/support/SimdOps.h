@@ -1,0 +1,114 @@
+//===-- support/SimdOps.h - Runtime-dispatched bitset row ops ---*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The word-loop primitives behind every dense label-set operation —
+/// row-OR (`dst |= src`) and popcount — with one runtime dispatch:
+///
+///   * **scalar** — portable 64-bit loop, always compiled, always
+///     correct; the reference the vector paths are tested against;
+///   * **avx2** — 256-bit lanes (4 words per OR), compiled with a
+///     per-function target attribute so the rest of the build stays
+///     baseline-portable;
+///   * **avx512** — 512-bit lanes (8 words per OR; popcount uses
+///     VPOPCNTDQ where the CPU has it).
+///
+/// The path is resolved once per process from CPUID
+/// (`__builtin_cpu_supports`) and is queryable (`activePath()`) so the
+/// kernel can record it in metrics and the benches in their JSON.
+/// Setting `STCFA_FORCE_SCALAR=1` in the environment pins the scalar
+/// path regardless of hardware — CI runs the kernel suites twice, once
+/// native and once forced, so both sides of the seam stay tested.
+///
+/// Hot-loop contract: rows of at most `InlineRowWords` words (the
+/// common case — a 256-label program is four words) are handled by an
+/// *inline* scalar loop with no call at all: at those sizes the
+/// indirect call + vector setup costs more than the ORs themselves, and
+/// the bit-exactness contract makes the shortcut invisible.  Wider rows
+/// pay one predictable indirect call per *row*, never per word.
+/// Callers guarantee nothing about alignment — the vector paths use
+/// unaligned loads/stores, which on every AVX2+ part cost the same as
+/// aligned ones when the data is in fact 64-byte aligned (the kernel's
+/// matrix is; `DenseBitset`'s heap words usually are not).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_SUPPORT_SIMDOPS_H
+#define STCFA_SUPPORT_SIMDOPS_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace stcfa {
+namespace simd {
+
+/// The row-op implementations, from portable to widest.
+enum class Path : uint8_t { Scalar = 0, Avx2 = 1, Avx512 = 2 };
+
+/// Dot-name for metrics/bench JSON: "scalar" | "avx2" | "avx512".
+const char *pathName(Path P);
+
+/// The path every dispatched call uses: the widest one the CPU
+/// supports, unless `STCFA_FORCE_SCALAR=1` pinned the scalar loop.
+/// Resolved once, on first use.
+Path activePath();
+inline const char *activePathName() { return pathName(activePath()); }
+
+/// True iff \p P can run on this machine (Scalar always can).  The
+/// force-scalar override does not change this — it changes only what
+/// `activePath()` returns — so the seam tests can still drive every
+/// supported path explicitly.
+bool pathSupported(Path P);
+
+/// Rows at or below this many words bypass the dispatch entirely (see
+/// the hot-loop contract above).
+inline constexpr size_t InlineRowWords = 4;
+
+/// `Dst[i] |= Src[i]` for `i < Words` — the reference loop.
+void orWordsScalar(uint64_t *Dst, const uint64_t *Src, size_t Words);
+
+/// The dispatched wide-row implementations behind `orWords` /
+/// `popcountWords`; call the inline wrappers instead.
+void orWordsDispatch(uint64_t *Dst, const uint64_t *Src, size_t Words);
+uint64_t popcountWordsDispatch(const uint64_t *Src, size_t Words);
+
+/// `Dst[i] |= Src[i]`; bit-exact with `orWordsScalar`.  Inline scalar
+/// for short rows, dispatched (AVX-512/AVX2/scalar) beyond.
+inline void orWords(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  if (Words <= InlineRowWords) {
+    for (size_t I = 0; I != Words; ++I)
+      Dst[I] |= Src[I];
+    return;
+  }
+  orWordsDispatch(Dst, Src, Words);
+}
+
+/// `orWords` pinned to \p P (no short-row shortcut — the seam tests
+/// drive the named path on every width).  Requires `pathSupported(P)`.
+void orWordsPath(Path P, uint64_t *Dst, const uint64_t *Src, size_t Words);
+
+/// Total set bits in `Words[0..Words)` — the reference loop.
+uint64_t popcountWordsScalar(const uint64_t *Src, size_t Words);
+
+/// Exact popcount; same short-row/dispatch split as `orWords`.
+inline uint64_t popcountWords(const uint64_t *Src, size_t Words) {
+  if (Words <= InlineRowWords) {
+    uint64_t C = 0;
+    for (size_t I = 0; I != Words; ++I)
+      C += static_cast<uint64_t>(std::popcount(Src[I]));
+    return C;
+  }
+  return popcountWordsDispatch(Src, Words);
+}
+
+/// `popcountWords` pinned to \p P.  Requires `pathSupported(P)`.
+uint64_t popcountWordsPath(Path P, const uint64_t *Src, size_t Words);
+
+} // namespace simd
+} // namespace stcfa
+
+#endif // STCFA_SUPPORT_SIMDOPS_H

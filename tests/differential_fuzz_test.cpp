@@ -28,6 +28,7 @@
 #include "core/SubtransitiveGraph.h"
 #include "gen/Generators.h"
 #include "support/FaultInjection.h"
+#include "testgen/ShapeGen.h"
 
 #include "TestUtil.h"
 
@@ -38,14 +39,14 @@ using namespace stcfa;
 
 namespace {
 
-/// Runs the three engines over the program generated from \p O and
-/// returns a human-readable mismatch report ("" when all agree).  Every
-/// line of the report carries the seed, so a failure is reproducible
-/// from the test log alone.
-std::string differentialReport(const RandomProgramOptions &O) {
-  std::string Tag = "seed " + std::to_string(O.Seed);
-  std::string Src = makeRandomProgram(O);
-
+/// Runs the three engines over \p Src and returns a human-readable
+/// mismatch report ("" when all agree).  Every line carries \p Tag (the
+/// generator spec/seed), so a failure is reproducible from the test log
+/// alone.  \p KernelChunkRows lets the shape suite sweep the chunked
+/// scheduler's one tuning knob (0 keeps the default).
+std::string differentialReportSource(const std::string &Tag,
+                                     const std::string &Src,
+                                     uint32_t KernelChunkRows = 0) {
   DiagnosticEngine Diags;
   std::unique_ptr<Module> M = parseProgram(Src, Diags);
   if (!M)
@@ -90,6 +91,8 @@ std::string differentialReport(const RandomProgramOptions &O) {
   // Engine 3: the word-parallel kernel — threshold 1 forces dispatch.
   QueryEngine Kern(*F, /*Threads=*/2);
   Kern.setKernelThreshold(1);
+  if (KernelChunkRows != 0)
+    Kern.setKernelChunkRows(KernelChunkRows);
   std::vector<DenseBitset> KernSets = Kern.labelsOfBatch(Es);
 
   std::string Report;
@@ -113,6 +116,11 @@ std::string differentialReport(const RandomProgramOptions &O) {
     Report += Tag + ": ... " + std::to_string(Mismatches - 5) +
               " further mismatches suppressed\n";
   return Report;
+}
+
+std::string differentialReport(const RandomProgramOptions &O) {
+  return differentialReportSource("seed " + std::to_string(O.Seed),
+                                  makeRandomProgram(O));
 }
 
 class DifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
@@ -160,6 +168,31 @@ TEST_P(DifferentialFuzzTiny, EnginesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzzTiny,
                          ::testing::Range<uint64_t>(9000, 9040));
+
+/// The condensation-shape stress corpus (testgen/ShapeGen.h): each shape
+/// family exercises a schedule geometry the random generator rarely
+/// produces — one fat level, a skinny path, alternating widths, and
+/// fat-then-skinny.  Each case also pins a different chunk size, so the
+/// level-compressed scheduler's merge decisions are fuzzed alongside the
+/// row-OR kernel itself (per-level, tiny merged chunks, the default, and
+/// one-chunk-for-everything).
+class DifferentialFuzzShapes : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialFuzzShapes, EnginesAgree) {
+  uint64_t Case = GetParam();
+  ShapeSpec Spec;
+  Spec.Shape = static_cast<CondShape>(Case % NumCondShapes);
+  Spec.N = 5 + static_cast<int>((Case * 7) % 60);
+  Spec.Seed = 1 + Case;
+  const uint32_t ChunkRowsSweep[] = {1, 3, 0 /*default*/, UINT32_MAX};
+  uint32_t ChunkRows = ChunkRowsSweep[(Case / NumCondShapes) % 4];
+  EXPECT_EQ(differentialReportSource(shapeSpecString(Spec),
+                                     makeShapeProgram(Spec), ChunkRows),
+            "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DifferentialFuzzShapes,
+                         ::testing::Range<uint64_t>(0, 64));
 
 //===----------------------------------------------------------------------===//
 // The canary: a deliberately-broken kernel must be caught.

@@ -354,9 +354,11 @@ TEST(FaultInjection, KernelLevelCancelFaultReportsCancelled) {
   ASSERT_TRUE(S.isOk());
 
   // Let one level complete, then fire: the abort must report exactly one
-  // finished level and serve only the level-0 components' sets.
+  // finished level and serve only the level-0 components' sets.  Chunk
+  // merging is pinned off so the cancel site is polled per level.
   ArmedSite Armed(fault::KernelLevelCancel, /*SkipHits=*/1);
   LabelSetKernel K(*F, /*Threads=*/2);
+  K.setChunkRows(1);
   EXPECT_EQ(K.run().code(), StatusCode::Cancelled);
   EXPECT_FALSE(K.complete());
   EXPECT_EQ(K.levelsCompleted(), 1u);

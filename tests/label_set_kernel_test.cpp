@@ -174,6 +174,126 @@ TEST(LabelSetKernel, LaneCountDoesNotChangeResults) {
 }
 
 //===----------------------------------------------------------------------===//
+// Level-compressed (chunked) scheduling
+//===----------------------------------------------------------------------===//
+
+TEST(LabelSetKernel, ChunkRowsDoesNotChangeResults) {
+  // The chunk size is pure scheduling: per-level (1), default, and
+  // everything-in-one-chunk must produce word-identical label sets.
+  for (const Workload &W : corpus()) {
+    Built B = build(W, W.Mode);
+    ASSERT_TRUE(B.M) << W.Name;
+    LabelSetKernel PerLevel(*B.F);
+    PerLevel.setChunkRows(1);
+    LabelSetKernel Default(*B.F);
+    LabelSetKernel OneChunk(*B.F);
+    OneChunk.setChunkRows(UINT32_MAX);
+    ASSERT_TRUE(PerLevel.run().isOk()) << W.Name;
+    ASSERT_TRUE(Default.run().isOk()) << W.Name;
+    ASSERT_TRUE(OneChunk.run().isOk()) << W.Name;
+    for (uint32_t I = 0, E = B.M->numExprs(); I != E; ++I) {
+      ExprId Ex(I);
+      ASSERT_TRUE(PerLevel.labelsOf(Ex) == Default.labelsOf(Ex))
+          << W.Name << " expr " << I;
+      ASSERT_TRUE(OneChunk.labelsOf(Ex) == Default.labelsOf(Ex))
+          << W.Name << " expr " << I;
+    }
+  }
+}
+
+TEST(LabelSetKernel, ChunkGeometryInvariants) {
+  Built B = build({"cubic:12", makeCubicFamily(12), true},
+                  CongruenceMode::None);
+  ASSERT_TRUE(B.M);
+
+  // Per-level chunking: exactly one chunk per level.
+  LabelSetKernel PerLevel(*B.F);
+  PerLevel.setChunkRows(1);
+  ASSERT_TRUE(PerLevel.run().isOk());
+  EXPECT_EQ(PerLevel.numChunks(), PerLevel.numLevels());
+
+  // An unbounded chunk budget collapses the whole schedule to one chunk.
+  LabelSetKernel OneChunk(*B.F);
+  OneChunk.setChunkRows(UINT32_MAX);
+  ASSERT_TRUE(OneChunk.run().isOk());
+  EXPECT_EQ(OneChunk.numChunks(), 1u);
+  EXPECT_GT(OneChunk.numLevels(), 1u);
+
+  // The default sits in between and never exceeds the level count; on
+  // completion the chunk cursor matches the chunk count.
+  LabelSetKernel Default(*B.F);
+  ASSERT_TRUE(Default.run().isOk());
+  EXPECT_LE(Default.numChunks(), Default.numLevels());
+  EXPECT_GE(Default.numChunks(), 1u);
+  EXPECT_EQ(Default.chunksCompleted(), Default.numChunks());
+  EXPECT_EQ(Default.levelsCompleted(), Default.numLevels());
+  // cubic:12 has many small levels — the default budget must actually
+  // compress barriers, not degenerate to per-level.
+  EXPECT_LT(Default.numChunks(), Default.numLevels());
+}
+
+TEST(LabelSetKernel, ChunkRowsIsStickyAcrossResume) {
+  // setChunkRows applies before the first run; the schedule is built
+  // once and survives resume (deadline abort at the very start).
+  Built B = build({"cubic:8", makeCubicFamily(8), true}, CongruenceMode::None);
+  ASSERT_TRUE(B.M);
+  LabelSetKernel K(*B.F);
+  K.setChunkRows(1);
+  LabelSetKernel::Controls C;
+  C.D = Deadline::afterMillis(-1);
+  EXPECT_EQ(K.run(C).code(), StatusCode::DeadlineExceeded);
+  EXPECT_EQ(K.chunksCompleted(), 0u);
+  ASSERT_TRUE(K.run().isOk());
+  EXPECT_EQ(K.numChunks(), K.numLevels());
+  EXPECT_EQ(K.chunksCompleted(), K.numChunks());
+}
+
+#if STCFA_FAULT_INJECTION
+
+TEST(LabelSetKernel, AbortAndResumeAtChunkGranularity) {
+  Built B = build({"cubic:12", makeCubicFamily(12), true},
+                  CongruenceMode::None);
+  ASSERT_TRUE(B.M);
+
+  LabelSetKernel Full(*B.F);
+  ASSERT_TRUE(Full.run().isOk());
+
+  // Force a multi-chunk schedule, then cancel after the first chunk's
+  // barrier: the governor polls once per chunk, so `LevelsDone` must
+  // land exactly on the first chunk boundary — whole chunks are either
+  // fully complete or untouched.
+  LabelSetKernel Part(*B.F);
+  Part.setChunkRows(4);
+  ASSERT_TRUE(armFault(fault::KernelLevelCancel, 1));
+  Status S = Part.run();
+  disarmFaults();
+  EXPECT_EQ(S.code(), StatusCode::Cancelled);
+  ASSERT_GE(Part.numChunks(), 3u) << "cubic:12 unexpectedly few chunks";
+  EXPECT_EQ(Part.chunksCompleted(), 1u);
+  EXPECT_GT(Part.levelsCompleted(), 0u);
+  EXPECT_LT(Part.levelsCompleted(), Part.numLevels());
+
+  // Every expr whose component sits below the completed chunk boundary
+  // is flagged complete and answers identically to the full closure.
+  for (uint32_t I = 0, E = B.M->numExprs(); I != E; ++I) {
+    ExprId Ex(I);
+    if (Part.exprComplete(Ex))
+      ASSERT_TRUE(Part.labelsOf(Ex) == Full.labelsOf(Ex)) << "expr " << I;
+    else
+      EXPECT_TRUE(Part.labelsOf(Ex).empty()) << "expr " << I;
+  }
+
+  // Resume picks up at the chunk cursor and finishes.
+  ASSERT_TRUE(Part.run().isOk());
+  EXPECT_TRUE(Part.complete());
+  EXPECT_EQ(Part.chunksCompleted(), Part.numChunks());
+  for (uint32_t I = 0, E = B.M->numExprs(); I != E; ++I)
+    ASSERT_TRUE(Part.labelsOf(ExprId(I)) == Full.labelsOf(ExprId(I)));
+}
+
+#endif // STCFA_FAULT_INJECTION
+
+//===----------------------------------------------------------------------===//
 // Governed aborts: Status + exact partial-result reporting
 //===----------------------------------------------------------------------===//
 
@@ -230,9 +350,12 @@ TEST(LabelSetKernel, MidLevelAbortReportsExactlyWhatIsComplete) {
   ASSERT_GE(Levels, 3u) << "cubic:12 condensation unexpectedly shallow";
   const uint32_t K = Levels / 2;
 
-  // Abort a fresh kernel at level K: the site passes K per-level polls,
-  // then fires.
+  // Abort a fresh kernel at level K.  Chunk merging is pinned off so the
+  // governor polls once per level — the site passes K polls, then fires
+  // (under the default chunking cubic:12 collapses to one chunk and the
+  // only abort point would be the very start).
   LabelSetKernel Part(*B.F);
+  Part.setChunkRows(1);
   ASSERT_TRUE(armFault(fault::KernelLevelCancel, K));
   Status S = Part.run();
   disarmFaults();
@@ -448,6 +571,44 @@ TEST(QueryEngineKernel, AbortedKernelFallsBackToBfsTransparently) {
 //===----------------------------------------------------------------------===//
 // HybridCFA wiring
 //===----------------------------------------------------------------------===//
+
+TEST(QueryEngineKernel, ChunkRowsPlumbsThroughToKernel) {
+  Built B = build({"cubic:10", makeCubicFamily(10), true},
+                  CongruenceMode::None);
+  ASSERT_TRUE(B.M);
+  QueryEngine E(*B.F, 1);
+  EXPECT_EQ(E.kernelChunkRows(), LabelSetKernel::DefaultChunkRows);
+  E.setKernelChunkRows(1);
+  EXPECT_EQ(E.kernelChunkRows(), 1u);
+  E.setKernelThreshold(1);
+
+  std::vector<ExprId> Es;
+  for (uint32_t I = 0, EN = B.M->numExprs(); I != EN; ++I)
+    Es.push_back(ExprId(I));
+  std::vector<DenseBitset> Sets = E.labelsOfBatch(Es);
+  ASSERT_NE(E.kernel(), nullptr);
+  EXPECT_EQ(E.kernel()->chunkRows(), 1u);
+  EXPECT_EQ(E.kernel()->numChunks(), E.kernel()->numLevels());
+
+  QueryEngine Bfs(*B.F, 1);
+  Bfs.setKernelThreshold(0);
+  std::vector<DenseBitset> Want = Bfs.labelsOfBatch(Es);
+  for (size_t I = 0; I != Es.size(); ++I)
+    ASSERT_TRUE(Sets[I] == Want[I]) << "expr " << I;
+}
+
+TEST(QueryEngineKernel, HybridThreadsChunkRowsThrough) {
+  auto M = parseMaybeInfer(makeCubicFamily(8));
+  ASSERT_TRUE(M);
+  HybridOptions HO;
+  HO.KernelThreshold = 1;
+  HO.KernelChunkRows = 2;
+  HybridCFA H(*M, HO);
+  ASSERT_TRUE(H.solve().isOk());
+  QueryEngine *E = H.queryEngine();
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->kernelChunkRows(), 2u);
+}
 
 TEST(QueryEngineKernel, HybridThreadsKernelThresholdThrough) {
   auto M = parseMaybeInfer(makeCubicFamily(8));
