@@ -1,0 +1,332 @@
+//===-- bench/bench_delta.cpp - Incremental edit-delta benchmark ----------===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incrementality benchmark: what does the delta layer save over
+/// reloading the program from scratch?
+///
+///   * Table 1 — per workload: the full load (parse + infer + build +
+///     close + freeze + first query), one single-definition edit through
+///     the delta path (apply + publish + first query), and the speedup.
+///     The acceptance line in the issue: a single-definition edit must
+///     be >= 10x faster than a full load on deep:512 and cubic:200.
+///
+///   * Table 2 — edit scripts touching 10% and 50% of the definitions,
+///     amortized per edit, against the same full-load baseline.
+///
+/// Emits `BENCH_delta.json`.  `--delta-smoke` runs a correctness-only
+/// gate (every published view along an edit script must be bit-exact
+/// against a from-scratch rebuild) and exits non-zero on any mismatch.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/FrozenGraph.h"
+#include "core/QueryEngine.h"
+#include "delta/DeltaSession.h"
+#include "gen/Generators.h"
+#include "support/TablePrinter.h"
+#include "testgen/ShapeGen.h"
+
+// The differential oracle the delta unit tests and fuzzer use; it has no
+// gtest dependency, so the smoke gate shares it instead of growing a
+// weaker copy.
+#include "../tests/DeltaTestUtil.h"
+
+#include <cstdio>
+#include <functional>
+#include <string_view>
+
+using namespace stcfa;
+using namespace stcfa::bench;
+
+namespace {
+
+struct Workload {
+  const char *Name;
+  std::string Source;
+  /// Names of definitions an edit script may target.
+  std::vector<std::string> Targets;
+  /// Replacement text for a target; \p Variant alternates so every rep
+  /// applies a real change (never the definition's current text).
+  std::function<std::string(const std::string &, int)> Text;
+};
+
+std::string deepProgram(int N) {
+  ShapeSpec S;
+  S.Shape = CondShape::Deep;
+  S.N = N;
+  return makeShapeProgram(S);
+}
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> Ws;
+
+  // deep:512 — the cone of a mid-chain edit is a long path.  Targets
+  // skip f0/f1 so both variants can reference two predecessors.
+  {
+    Workload W;
+    W.Name = "deep:512";
+    W.Source = deepProgram(512);
+    for (int I = 2; I <= 512; ++I)
+      W.Targets.push_back("f" + std::to_string(I));
+    W.Text = [](const std::string &Name, int Variant) {
+      int I = std::atoi(Name.c_str() + 1);
+      // Variant 0 reroutes around the predecessor; variant 1 restores
+      // the original shape's wiring.
+      int To = Variant == 0 ? I - 2 : I - 1;
+      return "let " + Name + " = fn x => f" + std::to_string(To) + " (x);";
+    };
+    Ws.push_back(std::move(W));
+  }
+
+  // cubic:200 — the paper's Section 10 family; `fs`/`bs` join all the
+  // copies, so an edited f_i's cone crosses the shared parameters.
+  for (int N : {100, 200}) {
+    Workload W;
+    W.Source = makeCubicFamily(N);
+    W.Name = N == 100 ? "cubic:100" : "cubic:200";
+    for (int I = 1; I <= N; ++I)
+      W.Targets.push_back("f" + std::to_string(I));
+    W.Text = [](const std::string &Name, int Variant) {
+      // Both variants differ from the generated `fn x => x`.
+      return "let " + Name + " = fn x => " +
+             (Variant == 0 ? "fs" : "bs") + " (x);";
+    };
+    Ws.push_back(std::move(W));
+  }
+  return Ws;
+}
+
+/// The full-load baseline: everything an editor pays to reload from
+/// scratch — parse, infer, build, close, freeze, first root query.
+uint64_t fullLoad(const std::string &Source) {
+  auto M = mustParse(Source);
+  GraphRun G = runGraph(*M);
+  Status FS = Status::ok();
+  std::unique_ptr<FrozenGraph> F = FrozenGraph::freeze(*G.Graph, FS);
+  if (!F)
+    std::abort();
+  QueryEngine Engine(*F, 1);
+  return Engine.labelsOf(M->root()).count();
+}
+
+std::unique_ptr<DeltaSession> mustSession(const std::string &Source) {
+  DeltaSession::Options O;
+  Status S = Status::ok();
+  std::unique_ptr<DeltaSession> Sess = DeltaSession::create(Source, O, S);
+  if (!Sess || !Sess->incremental()) {
+    std::fprintf(stderr, "bench_delta: session creation failed: %s\n",
+                 S.toString().c_str());
+    std::abort();
+  }
+  return Sess;
+}
+
+EditRequest replaceEdit(const std::string &Name, const std::string &Text) {
+  EditRequest R;
+  R.Kind = EditRequest::Op::Replace;
+  R.Name = Name;
+  R.Text = Text;
+  return R;
+}
+
+/// One timed edit: apply + publish + first root query — the latency an
+/// editor sees between a keystroke and a fresh answer.  Aborts if the
+/// edit leaves the incremental envelope (these workloads must not).
+double timedEdit(DeltaSession &Sess, const EditRequest &Req) {
+  Timer T;
+  ApplyResult Res;
+  if (Status S = Sess.apply(Req, Res); !S.isOk()) {
+    std::fprintf(stderr, "bench_delta: apply failed: %s\n",
+                 S.toString().c_str());
+    std::abort();
+  }
+  if (Res.NeedsFullPipeline) {
+    std::fprintf(stderr, "bench_delta: edit left the incremental envelope\n");
+    std::abort();
+  }
+  DeltaView V;
+  if (!Sess.freezeView(V).isOk())
+    std::abort();
+  QueryEngine Engine(*V.Frozen, 1);
+  benchmark::DoNotOptimize(
+      Engine.labelsOf(ExprId(V.ExprToShadow[V.NumExprs - 1])).count());
+  return T.millis();
+}
+
+template <typename FnT> double bestMillis(int Reps, FnT Fn) {
+  double Best = 0;
+  for (int I = 0; I != Reps; ++I) {
+    Timer T;
+    Fn();
+    double Ms = T.millis();
+    if (I == 0 || Ms < Best)
+      Best = Ms;
+  }
+  return Best;
+}
+
+void printPaperTables() {
+  JsonReport Report("delta");
+
+  std::printf("== incremental edits: delta apply vs full reload ==\n");
+  TablePrinter T1({"program", "defs", "full-load(ms)", "edit(ms)", "speedup",
+                   "accept>=10x"});
+  bool AcceptAll = true;
+  std::vector<Workload> Ws = workloads();
+  for (const Workload &W : Ws) {
+    double LoadMs = bestMillis(3, [&] {
+      benchmark::DoNotOptimize(fullLoad(W.Source));
+    });
+
+    // One long-lived session; variants alternate so every rep applies a
+    // real single-definition change to the middle of the program.
+    std::unique_ptr<DeltaSession> Sess = mustSession(W.Source);
+    const std::string &Mid = W.Targets[W.Targets.size() / 2];
+    double EditMs = 0;
+    constexpr int Reps = 9;
+    for (int I = 0; I != Reps; ++I) {
+      double Ms = timedEdit(*Sess, replaceEdit(Mid, W.Text(Mid, I % 2)));
+      if (I == 0 || Ms < EditMs)
+        EditMs = Ms;
+    }
+
+    double Speedup = EditMs > 0 ? LoadMs / EditMs : 0;
+    // The acceptance gate only names the two big workloads; report the
+    // small one for the trend line without gating on it.
+    const bool Gated = std::string_view(W.Name) != "cubic:100";
+    const bool Accept = !Gated || Speedup >= 10.0;
+    AcceptAll = AcceptAll && Accept;
+    T1.addRow({W.Name, std::to_string(Sess->numDefs()),
+               TablePrinter::num(LoadMs), TablePrinter::num(EditMs),
+               TablePrinter::num(Speedup, 1),
+               Gated ? (Accept ? "yes" : "NO") : "-"});
+    Report.record("single_edit")
+        .add("program", std::string(W.Name))
+        .add("defs", Sess->numDefs())
+        .add("full_load_ms", LoadMs)
+        .add("single_edit_ms", EditMs)
+        .add("speedup", Speedup)
+        .add("accepted", uint64_t(Accept));
+  }
+  std::printf("%s\n", T1.render().c_str());
+
+  std::printf("== edit scripts: amortized cost per edit ==\n");
+  TablePrinter T2({"program", "edits", "frac", "total(ms)", "per-edit(ms)",
+                   "vs-load"});
+  for (const Workload &W : Ws) {
+    double LoadMs = bestMillis(3, [&] {
+      benchmark::DoNotOptimize(fullLoad(W.Source));
+    });
+    for (double Frac : {0.10, 0.50}) {
+      const size_t K = std::max<size_t>(1, size_t(W.Targets.size() * Frac));
+      std::unique_ptr<DeltaSession> Sess = mustSession(W.Source);
+      // Spread the K edits across the program rather than clustering.
+      const size_t Stride = W.Targets.size() / K;
+      Timer T;
+      for (size_t I = 0; I != K; ++I) {
+        const std::string &Name = W.Targets[(I * Stride) % W.Targets.size()];
+        ApplyResult Res;
+        if (!Sess->apply(replaceEdit(Name, W.Text(Name, 0)), Res).isOk() ||
+            Res.NeedsFullPipeline)
+          std::abort();
+      }
+      DeltaView V;
+      if (!Sess->freezeView(V).isOk())
+        std::abort();
+      double TotalMs = T.millis();
+      double PerEdit = TotalMs / double(K);
+      T2.addRow({W.Name, std::to_string(K), TablePrinter::num(Frac, 2),
+                 TablePrinter::num(TotalMs), TablePrinter::num(PerEdit),
+                 TablePrinter::num(LoadMs > 0 ? TotalMs / LoadMs : 0, 2) +
+                     "x"});
+      Report.record("edit_script")
+          .add("program", std::string(W.Name))
+          .add("edits", uint64_t(K))
+          .add("fraction", Frac)
+          .add("total_ms", TotalMs)
+          .add("per_edit_ms", PerEdit)
+          .add("vs_full_load", LoadMs > 0 ? TotalMs / LoadMs : 0);
+    }
+  }
+  std::printf("%s\n", T2.render().c_str());
+  std::printf("acceptance (single edit >= 10x full load on deep:512 and "
+              "cubic:200): %s\n",
+              AcceptAll ? "PASS" : "FAIL");
+}
+
+/// Correctness-only gate for CI: every published view along a mixed edit
+/// script must be bit-exact against a from-scratch rebuild.
+int deltaSmoke() {
+  Workload W;
+  W.Source = makeCubicFamily(60);
+  std::unique_ptr<DeltaSession> Sess = mustSession(W.Source);
+  for (int I = 0; I != 8; ++I) {
+    const std::string Name = "f" + std::to_string(7 * I + 3);
+    const std::string Text = "let " + Name + " = fn x => " +
+                             (I % 2 ? "fs" : "bs") + " (x);";
+    ApplyResult Res;
+    if (Status S = Sess->apply(replaceEdit(Name, Text), Res); !S.isOk()) {
+      std::fprintf(stderr, "delta smoke: apply %d failed: %s\n", I,
+                   S.toString().c_str());
+      return 1;
+    }
+    if (Res.NeedsFullPipeline || !Sess->incremental()) {
+      std::fprintf(stderr, "delta smoke: edit %d left the envelope\n", I);
+      return 1;
+    }
+    std::string Diff = compareDeltaToFreshRebuild(
+        *Sess, "delta smoke edit " + std::to_string(I));
+    if (!Diff.empty()) {
+      std::fprintf(stderr, "delta smoke: MISMATCH\n%s\n", Diff.c_str());
+      return 1;
+    }
+  }
+  std::printf("delta smoke: 8 edits on cubic:60 bit-exact against fresh "
+              "rebuilds\n");
+  return 0;
+}
+
+void BM_SingleEdit(benchmark::State &State) {
+  const std::string Source = makeCubicFamily(static_cast<int>(State.range(0)));
+  std::unique_ptr<DeltaSession> Sess = mustSession(Source);
+  const std::string Name = "f" + std::to_string(State.range(0) / 2);
+  int Variant = 0;
+  for (auto _ : State) {
+    ApplyResult Res;
+    if (!Sess->apply(replaceEdit(Name, "let " + Name + " = fn x => " +
+                                           (Variant ? "fs" : "bs") + " (x);"),
+                     Res)
+             .isOk())
+      std::abort();
+    Variant ^= 1;
+    DeltaView V;
+    if (!Sess->freezeView(V).isOk())
+      std::abort();
+    QueryEngine Engine(*V.Frozen, 1);
+    benchmark::DoNotOptimize(
+        Engine.labelsOf(ExprId(V.ExprToShadow[V.NumExprs - 1])).count());
+  }
+}
+BENCHMARK(BM_SingleEdit)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+// Custom main: `--delta-smoke` runs the correctness gate only, so ctest
+// can wire it without paying for the timed tables.
+int main(int argc, char **argv) {
+  for (int I = 1; I != argc; ++I)
+    if (std::string_view(argv[I]) == "--delta-smoke")
+      return deltaSmoke();
+  printPaperTables();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -4,11 +4,12 @@
 # Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
 #
 # Drives the real driver binary in `--serve` mode through a pipe:
-# load -> query -> lint -> metrics -> shutdown, one JSON request per line
-# (docs/SERVE.md).  Asserts a clean exit, one reply line per request, and
-# the expected ok/result shape for every verb.  Registered as the
-# `serve_smoke` ctest (label `serve-smoke`) so it also runs under the
-# ASan/UBSan preset in scripts/ci.sh.
+# load -> query -> lint -> edit -> query -> metrics -> shutdown, one JSON
+# request per line (docs/SERVE.md).  Asserts a clean exit, one reply line
+# per request, and the expected ok/result shape for every verb — the edit
+# must install epoch 2 and the follow-up query must answer from it.
+# Registered as the `serve_smoke` ctest (label `serve-smoke`) so it also
+# runs under the ASan/UBSan preset in scripts/ci.sh.
 #
 # Usage: scripts/serve_smoke.sh <path-to-stcfa>
 #
@@ -18,14 +19,17 @@ set -euo pipefail
 bin="${1:?usage: serve_smoke.sh <path-to-stcfa>}"
 
 set +e
+# Top-level `let ...;` items so the edit verb has definitions to target.
 out=$(printf '%s\n' \
-  '{"id":1,"verb":"load","params":{"source":"let compose = fn f => fn g => fn x => f (g x) in let inc = fn a => a + 1 in compose inc inc 0"}}' \
+  '{"id":1,"verb":"load","params":{"source":"let compose = fn f => fn g => fn x => f (g x); let inc = fn a => a + 1; compose inc inc 0"}}' \
   '{"id":2,"verb":"query","params":{"kind":"labels"}}' \
   '{"id":3,"verb":"query","params":{"kind":"all-labels"}}' \
   '{"id":4,"verb":"lint"}' \
   'this line is not JSON' \
-  '{"id":5,"verb":"metrics"}' \
-  '{"id":6,"verb":"shutdown"}' \
+  '{"id":5,"verb":"edit","params":{"op":"replace","name":"inc","text":"let inc = fn a => a + 2;"}}' \
+  '{"id":6,"verb":"query","params":{"kind":"labels"}}' \
+  '{"id":7,"verb":"metrics"}' \
+  '{"id":8,"verb":"shutdown"}' \
   | "$bin" --serve)
 status=$?
 set -e
@@ -35,7 +39,7 @@ echo "$out"
 
 # One reply line per request (the garbage line gets a structured error).
 lines=$(printf '%s\n' "$out" | wc -l)
-[ "$lines" -eq 7 ] || { echo "serve-smoke: expected 7 replies, got $lines" >&2; exit 1; }
+[ "$lines" -eq 9 ] || { echo "serve-smoke: expected 9 replies, got $lines" >&2; exit 1; }
 
 check() { printf '%s\n' "$out" | grep -q -- "$1" \
   || { echo "serve-smoke: missing $1" >&2; exit 1; }; }
@@ -47,9 +51,14 @@ check '"id":3,"ok":true'          # all-labels answered
 check '"id":4,"ok":true'          # lint ran
 check '"id":null,"ok":false'      # garbage -> structured error, not a crash
 check '"code":"invalid-argument"'
-check '"id":5,"ok":true'          # metrics still served after the error
+check '"id":5,"ok":true'          # edit accepted after the error
+check '"epoch":2'                 # edit installed a fresh epoch
+check '"mode":"delta"'            # ...via the incremental path
+check '"id":6,"ok":true'          # query answers from the edited epoch
+check '"id":7,"ok":true'          # metrics still served
 check '"serve.requests"'
-check '"id":6,"ok":true'          # clean shutdown reply
+check '"serve.edits"'             # the edit counter is exported
+check '"id":8,"ok":true'          # clean shutdown reply
 check '"shutdown":true'
 
 echo "serve-smoke: ok"

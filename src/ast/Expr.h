@@ -240,6 +240,12 @@ public:
   /// be an abstraction (enforced by the parser).
   bool isRec() const { return IsRec; }
 
+  /// Spine surgery for the delta layer: repoint this let at a replacement
+  /// initializer / body subtree.  The old subtree stays in the module as
+  /// unreferenced garbage (the module arena is append-only).
+  void setInit(ExprId NewInit) { Init = NewInit; }
+  void setBody(ExprId NewBody) { Body = NewBody; }
+
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Let; }
 
 private:
@@ -270,6 +276,9 @@ public:
 
   const std::vector<Binding> &bindings() const { return Bindings; }
   ExprId body() const { return Body; }
+
+  /// Spine surgery for the delta layer (see `LetExpr::setBody`).
+  void setBody(ExprId NewBody) { Body = NewBody; }
 
   static bool classof(const Expr *E) { return E->kind() == ExprKind::LetRecN; }
 

@@ -136,6 +136,10 @@ public:
     Vars[Var.index()].Binder = Binder;
   }
 
+  /// Renames a binder (the delta layer's `rename` edit — alpha-conversion
+  /// never changes analysis answers, so it is metadata-only).
+  void setVarName(VarId Var, Symbol Name) { Vars[Var.index()].Name = Name; }
+
   /// Records the exclusive end position of \p E's surface extent (parser
   /// only; builder-made expressions keep their degenerate point ranges).
   void setExprEnd(ExprId E, SourceLoc End) { expr(E)->setEndLoc(End); }

@@ -126,6 +126,17 @@ public:
   /// view, which carries only the flat tables.
   bool hasSource() const { return G != nullptr; }
 
+  /// Severs the back-references into the live pipeline, turning this
+  /// snapshot into a self-contained view (like `fromTables`, but with
+  /// owned storage): `hasSource()` becomes false, `portOf` falls back to
+  /// the flat `ran` table, and the graph/module may then be mutated or
+  /// destroyed freely.  The delta layer detaches every epoch snapshot so
+  /// in-flight queries never race the next edit's graph surgery.
+  void detachSource() {
+    G = nullptr;
+    M = nullptr;
+  }
+
   const Module &module() const {
     assert(M && "mmap-backed view has no module");
     return *M;

@@ -148,8 +148,11 @@ NodeId SubtransitiveGraph::canonicalizeBase(TypeId Ty, NodeOp Op,
 }
 
 NodeId SubtransitiveGraph::exprNode(ExprId E) {
+  // Resize-preserving: the module can grow underneath a live graph (the
+  // delta layer appends definition subtrees), and existing entries must
+  // survive — `lookupExprNode` serves freeze and queries from this table.
   if (NodeOfExpr.size() < M.numExprs())
-    NodeOfExpr.assign(M.numExprs(), NodeId::invalid());
+    NodeOfExpr.resize(M.numExprs(), NodeId::invalid());
   NodeId &Slot = NodeOfExpr[E.index()];
   if (Slot.isValid())
     return Slot;
@@ -159,7 +162,9 @@ NodeId SubtransitiveGraph::exprNode(ExprId E) {
 
 NodeId SubtransitiveGraph::varNode(VarId V) {
   if (NodeOfVar.size() < M.numVars())
-    NodeOfVar.assign(M.numVars(), NodeId::invalid());
+    NodeOfVar.resize(M.numVars(), NodeId::invalid());
+  if (VarType.size() < M.numVars())
+    VarType.resize(M.numVars(), TypeId::invalid());
   NodeId &Slot = NodeOfVar[V.index()];
   if (Slot.isValid())
     return Slot;
@@ -382,6 +387,8 @@ void SubtransitiveGraph::materializeTemplate(NodeId N) {
 void SubtransitiveGraph::addEdge(NodeId A, NodeId B) {
   if (A == B)
     return;
+  if (Journal)
+    Journal->push_back({A, B});
   uint64_t Key = (uint64_t(A.index()) + 1) << 32 | (uint64_t(B.index()) + 1);
   if (!EdgeSet.insert(Key))
     return;
@@ -597,6 +604,8 @@ Status SubtransitiveGraph::close(const Deadline &D,
       continue;
     }
     const EdgeRec &E = Edges[NextUnprocessedEdge++];
+    if (!E.From.isValid())
+      continue; // tombstoned by the delta layer's retraction
     processEdge(E.From, E.To);
   }
   Closed = true;
@@ -674,6 +683,69 @@ void SubtransitiveGraph::processDemand(const Alias &A) {
   default:
     assert(false && "demand event for a non-derived op");
   }
+}
+
+void SubtransitiveGraph::removeEdgeForDelta(NodeId A, NodeId B) {
+  uint64_t Key = (uint64_t(A.index()) + 1) << 32 | (uint64_t(B.index()) + 1);
+  if (!EdgeSet.erase(Key))
+    return;
+  // Find the pool entry through A's out list and unlink it there.
+  uint32_t Idx = NoEdge;
+  for (uint32_t *L = &FirstOut[A.index()]; *L != NoEdge;
+       L = &Edges[*L].NextOut)
+    if (Edges[*L].To == B) {
+      Idx = *L;
+      *L = Edges[Idx].NextOut;
+      break;
+    }
+  assert(Idx != NoEdge && "edge set and adjacency lists out of sync");
+  for (uint32_t *L = &FirstIn[B.index()]; *L != NoEdge; L = &Edges[*L].NextIn)
+    if (*L == Idx) {
+      *L = Edges[Idx].NextIn;
+      break;
+    }
+  // Tombstone in place; the pool never compacts, so indices stay stable.
+  Edges[Idx].From = NodeId::invalid();
+  Edges[Idx].To = NodeId::invalid();
+}
+
+void SubtransitiveGraph::appendConsequencesForDelta(
+    NodeId A, NodeId B, std::vector<std::pair<NodeId, NodeId>> &Out) const {
+  // Mirror of `processEdge`: the conclusions each rule family could have
+  // drawn from (A, B), restricted to node pairs that were actually
+  // materialised.  (The widening path leaves `DomOf`/`RanOf` unfilled for
+  // edges into `Top`; the delta layer refuses to run once a Top node
+  // exists, so nothing is missed here.)
+  if (NodeId DB = DomOf[B.index()]; DB.isValid())
+    if (NodeId DA = DomOf[A.index()]; DA.isValid())
+      Out.push_back({DB, DA}); // CLOSE-DOM'
+  if (NodeId RA = RanOf[A.index()]; RA.isValid())
+    if (NodeId RB = RanOf[B.index()]; RB.isValid())
+      Out.push_back({RA, RB}); // CLOSE-RAN'
+  for (const auto &[Tag, FA] : FieldsOf[A.index()])
+    if (NodeId FB = lookupDerived(NodeOp::Field, B, Tag); FB.isValid())
+      Out.push_back({FA, FB}); // covariant fields
+  if (NodeId CA = RefCellOf[A.index()]; CA.isValid())
+    if (NodeId CB = RefCellOf[B.index()]; CB.isValid()) {
+      Out.push_back({CA, CB}); // ref cells are invariant:
+      Out.push_back({CB, CA}); // both directions
+    }
+}
+
+void SubtransitiveGraph::requeueAliasesForDelta(NodeId N) {
+  for (const Alias &A : AliasesOf[N.index()])
+    PendingDemand.push_back(A);
+}
+
+void SubtransitiveGraph::notifyModuleGrown() {
+  if (NodeOfExpr.size() < M.numExprs())
+    NodeOfExpr.resize(M.numExprs(), NodeId::invalid());
+  if (NodeOfVar.size() < M.numVars())
+    NodeOfVar.resize(M.numVars(), NodeId::invalid());
+  if (VarType.size() < M.numVars())
+    VarType.resize(M.numVars(), TypeId::invalid());
+  if (!Externalized.empty() && Externalized.size() < M.numVars())
+    Externalized.resize(M.numVars(), false);
 }
 
 std::string SubtransitiveGraph::describe(NodeId N) const {

@@ -308,6 +308,58 @@ public:
   /// Returns an invalid id if it was never materialised.
   NodeId lookupDerived(NodeOp Op, NodeId Base, uint32_t Tag = 0) const;
 
+  //===--- incremental surgery (src/delta) ---------------------------------//
+  //
+  // The edit-delta layer retracts a definition's base edges and re-closes
+  // from the frontier instead of rebuilding.  These entry points exist for
+  // that layer only; the analysis pipeline never calls them.
+
+  /// While set, every `addEdge` *attempt* (including duplicates the edge
+  /// set already holds, excluding self-loops) is appended to \p J.  The
+  /// delta layer records each definition's base edges this way and
+  /// refcounts them across definitions.
+  void setEdgeJournal(std::vector<std::pair<NodeId, NodeId>> *J) {
+    Journal = J;
+  }
+
+  /// True iff the edge A -> B is currently present.
+  bool hasEdge(NodeId A, NodeId B) const {
+    return EdgeSet.contains((uint64_t(A.index()) + 1) << 32 |
+                            (uint64_t(B.index()) + 1));
+  }
+
+  /// Physically unlinks A -> B: both intrusive adjacency lists, the edge
+  /// set, and the pool entry (tombstoned in place; the close cursor skips
+  /// it).  No-op when the edge is absent.  O(deg(A) + deg(B)).
+  void removeEdgeForDelta(NodeId A, NodeId B);
+
+  /// Appends the one-step rule conclusions the edge (A, B) could have
+  /// produced *and that currently exist*: the retraction cone expands
+  /// through these until it hits edges that survive for another reason.
+  void appendConsequencesForDelta(NodeId A, NodeId B,
+                                  std::vector<std::pair<NodeId, NodeId>> &Out)
+      const;
+
+  /// Re-enqueues every registered (op, base, tag) alias of \p N for demand
+  /// reprocessing, so the next `close()` re-derives all conclusions still
+  /// supported by surviving edges around \p N.
+  void requeueAliasesForDelta(NodeId N);
+
+  /// Grows the per-module tables after the `Module` gained exprs/vars
+  /// (the delta layer appends definition subtrees to a live module).
+  /// Existing entries are preserved; new binders get invalid types, which
+  /// only disables the datatype congruence for them — the delta fast path
+  /// is gated to data-free programs where that is identity-neutral.
+  void notifyModuleGrown();
+
+  /// True when the depth widening has engaged (a `Top` node exists).  The
+  /// delta layer treats this as outside its exactness envelope and falls
+  /// back to a full rebuild.
+  bool hasTopNode() const { return Top.isValid(); }
+
+  /// Current size of the edge pool, tombstones included (delta metrics).
+  uint64_t edgePoolSize() const { return Edges.size(); }
+
 private:
   //===--- construction internals -------------------------------------------//
 
@@ -364,6 +416,8 @@ private:
   U64Map NodeIndex;
   U64Set EdgeSet;
   U64Set MaterializedSet;
+  /// Delta-layer journal of addEdge attempts (null when inactive).
+  std::vector<std::pair<NodeId, NodeId>> *Journal = nullptr;
   /// Edges are processed in pool order; this is the work cursor.
   uint32_t NextUnprocessedEdge = 0;
   std::vector<Alias> PendingDemand;

@@ -21,11 +21,29 @@ namespace {
 class ParserImpl {
 public:
   ParserImpl(std::string_view Source, DiagnosticEngine &Diags)
-      : Lex(Source, Diags), Diags(Diags) {
+      : Lex(Source, Diags), Diags(Diags),
+        Owned(std::make_unique<Module>()), M(Owned.get()) {
+    Tok = Lex.next();
+  }
+
+  /// Fragment mode: parse into an existing module (the delta layer's
+  /// shadow module).  The module is only appended to; on failure the
+  /// appended subtrees are unreachable garbage, never dangling.
+  ParserImpl(std::string_view Source, DiagnosticEngine &Diags,
+             Module &Existing)
+      : Lex(Source, Diags), Diags(Diags), M(&Existing) {
     Tok = Lex.next();
   }
 
   std::unique_ptr<Module> run();
+
+  /// Parses one `let name = expr;` / `letrec name = expr;` item with the
+  /// given name environment in scope.  See `parseTopDefFragment`.
+  bool runTopDefFragment(const std::vector<std::pair<Symbol, VarId>> &Env,
+                         FragmentDef &Out, VarId ReuseBinder);
+
+  /// Parses one bare expression with the given environment in scope.
+  ExprId runExprFragment(const std::vector<std::pair<Symbol, VarId>> &Env);
 
 private:
   //===--- token plumbing --------------------------------------------------//
@@ -175,7 +193,10 @@ private:
   SourceLoc PrevEnd;
   uint32_t Depth = 0;
   bool Failed = false;
-  std::unique_ptr<Module> M = std::make_unique<Module>();
+  /// Owned in whole-program mode; null in fragment mode, where `M` borrows
+  /// the caller's module.
+  std::unique_ptr<Module> Owned;
+  Module *M;
   std::unordered_map<Symbol, std::vector<VarId>> Scopes;
   /// One frame per letrec group currently being parsed.
   std::vector<std::vector<PendingRef>> PendingGroups;
@@ -290,7 +311,69 @@ std::unique_ptr<Module> ParserImpl::run() {
       Final = fin(M->makeLetRecN(B.Loc, std::move(B.Group), Final));
   }
   M->setRoot(Final);
-  return std::move(M);
+  return std::move(Owned);
+}
+
+bool ParserImpl::runTopDefFragment(
+    const std::vector<std::pair<Symbol, VarId>> &Env, FragmentDef &Out,
+    VarId ReuseBinder) {
+  for (const auto &[S, V] : Env)
+    Scopes[S].push_back(V);
+
+  Out.IsRec = at(TokenKind::KwLetRec);
+  if (!eat(TokenKind::KwLetRec) && !eat(TokenKind::KwLet)) {
+    fail("expected 'let' or 'letrec'");
+    return false;
+  }
+  if (!at(TokenKind::Ident)) {
+    fail("expected identifier after 'let'");
+    return false;
+  }
+  Out.Name = M->sym(Tok.Text);
+  SourceLoc Loc = Tok.Loc;
+  bump();
+  expect(TokenKind::Equal, "'='");
+  if (Failed)
+    return false;
+
+  // Binder/initializer creation order mirrors `run()` exactly — the delta
+  // layer's canonical<->shadow id arithmetic depends on it: a letrec binds
+  // its name before the initializer, a plain let after.
+  if (Out.IsRec) {
+    Out.Binder = ReuseBinder.isValid() ? ReuseBinder : M->makeVar(Out.Name);
+    Scopes[Out.Name].push_back(Out.Binder);
+    Out.Init = parseExpr();
+    if (Failed)
+      return false;
+    if (!isa<LamExpr>(M->expr(Out.Init))) {
+      Diags.error(Loc, "letrec initializer must be an abstraction");
+      Failed = true;
+      return false;
+    }
+    if (at(TokenKind::KwAnd)) {
+      fail("multi-binding letrec groups cannot be edited as fragments");
+      return false;
+    }
+  } else {
+    Out.Init = parseExpr();
+    if (Failed)
+      return false;
+    Out.Binder = ReuseBinder.isValid() ? ReuseBinder : M->makeVar(Out.Name);
+  }
+  expect(TokenKind::Semi, "';' after the definition");
+  if (!Failed)
+    expect(TokenKind::Eof, "end of input");
+  return !Failed;
+}
+
+ExprId ParserImpl::runExprFragment(
+    const std::vector<std::pair<Symbol, VarId>> &Env) {
+  for (const auto &[S, V] : Env)
+    Scopes[S].push_back(V);
+  ExprId E = parseExpr();
+  if (!Failed)
+    expect(TokenKind::Eof, "end of input");
+  return Failed ? ExprId::invalid() : E;
 }
 
 bool ParserImpl::parseRecBindings(std::vector<Symbol> &Names,
@@ -867,4 +950,34 @@ std::unique_ptr<Module> stcfa::parseProgram(std::string_view Source,
   Exprs.add(M->numExprs());
   ParseSpan.arg("exprs", M->numExprs());
   return M;
+}
+
+bool stcfa::parseTopDefFragment(
+    Module &M, std::string_view Text,
+    const std::vector<std::pair<Symbol, VarId>> &Env, DiagnosticEngine &Diags,
+    FragmentDef &Out, VarId ReuseBinder) {
+  static Counter &Fragments = counter("parse.fragments");
+  static Counter &Failures = counter("parse.fragment_failures");
+  Fragments.inc();
+  ParserImpl P(Text, Diags, M);
+  if (P.runTopDefFragment(Env, Out, ReuseBinder) && !Diags.hasErrors())
+    return true;
+  Failures.inc();
+  return false;
+}
+
+ExprId stcfa::parseExprFragment(
+    Module &M, std::string_view Text,
+    const std::vector<std::pair<Symbol, VarId>> &Env,
+    DiagnosticEngine &Diags) {
+  static Counter &Fragments = counter("parse.fragments");
+  static Counter &Failures = counter("parse.fragment_failures");
+  Fragments.inc();
+  ParserImpl P(Text, Diags, M);
+  ExprId E = P.runExprFragment(Env);
+  if (!E.isValid() || Diags.hasErrors()) {
+    Failures.inc();
+    return ExprId::invalid();
+  }
+  return E;
 }

@@ -50,6 +50,8 @@
 
 #include <memory>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace stcfa {
 
@@ -57,6 +59,44 @@ namespace stcfa {
 /// in \p Diags) on any error.
 std::unique_ptr<Module> parseProgram(std::string_view Source,
                                      DiagnosticEngine &Diags);
+
+//===--- fragment parsing (the delta layer) --------------------------------//
+//
+// The edit-delta layer (src/delta) re-parses *one definition at a time*
+// into a live module instead of re-parsing the whole program.  Both entry
+// points append to \p M only — a failed parse leaves at most unreachable
+// garbage subtrees, never dangling references — and resolve free names
+// through an explicit environment instead of the whole-program scope
+// stack.  The expression/binder creation order matches what `parseProgram`
+// would produce for the same text in context; the delta layer's
+// canonical<->shadow id mapping relies on that.
+
+/// One top-level definition parsed in isolation.
+struct FragmentDef {
+  Symbol Name;
+  bool IsRec = false;
+  /// The definition's binder: `ReuseBinder` when the caller supplied one
+  /// (a replace edit keeps the old binder so downstream references stay
+  /// resolved), otherwise freshly created.
+  VarId Binder;
+  ExprId Init;
+};
+
+/// Parses `let <name> = <expr>;` or `letrec <name> = <expr>;` into \p M,
+/// resolving free names through \p Env (outermost first; later entries
+/// shadow earlier ones).  Multi-binding `letrec ... and ...` groups and
+/// `data` declarations are rejected.  Returns false with diagnostics in
+/// \p Diags on any error.
+bool parseTopDefFragment(Module &M, std::string_view Text,
+                         const std::vector<std::pair<Symbol, VarId>> &Env,
+                         DiagnosticEngine &Diags, FragmentDef &Out,
+                         VarId ReuseBinder = VarId::invalid());
+
+/// Parses one bare expression (e.g. a replacement program body) into \p M
+/// under \p Env.  Returns an invalid id with diagnostics on error.
+ExprId parseExprFragment(Module &M, std::string_view Text,
+                         const std::vector<std::pair<Symbol, VarId>> &Env,
+                         DiagnosticEngine &Diags);
 
 } // namespace stcfa
 

@@ -9,6 +9,7 @@
 #include "core/LabelSetKernel.h"
 #include "support/Metrics.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace stcfa;
@@ -32,6 +33,9 @@ Epoch::Epoch(uint64_t Id, std::unique_ptr<Module> Mod,
   assert(Hybrid && Hybrid->engine() != HybridCFA::Engine::None &&
          "live epoch needs a served ladder");
   Q = Hybrid->queryEngine(); // null when the ladder degraded
+  CanonExprs = M->numExprs();
+  CanonLabels = M->numLabels();
+  RootId = M->root();
   recordEpochDelta(+1);
 }
 
@@ -44,18 +48,40 @@ Epoch::Epoch(uint64_t Id, std::unique_ptr<Module> Mod,
   if (auto Kern = Snap->adoptKernel())
     MappedEngine->adoptKernel(std::move(Kern));
   Q = MappedEngine.get();
+  CanonExprs = M->numExprs();
+  CanonLabels = M->numLabels();
+  RootId = M->root();
+  recordEpochDelta(+1);
+}
+
+Epoch::Epoch(uint64_t Id, DeltaView V, unsigned Threads,
+             size_t KernelThreshold)
+    : EpochId(Id), View(std::move(V)) {
+  assert(View.Frozen && "delta epoch needs a frozen view");
+  MappedEngine = std::make_unique<QueryEngine>(*View.Frozen, Threads);
+  MappedEngine->setKernelThreshold(KernelThreshold);
+  Q = MappedEngine.get();
+  CanonExprs = View.NumExprs;
+  CanonLabels = View.NumLabels;
+  // Canonical numbering puts the outermost spine let — the program root —
+  // last (it is the last expression a fresh parse creates).
+  RootId = ExprId(View.NumExprs - 1);
   recordEpochDelta(+1);
 }
 
 Epoch::~Epoch() { recordEpochDelta(-1); }
 
 const char *Epoch::engine() const {
+  if (View.Frozen)
+    return "delta";
   if (Snap)
     return "snapshot";
   return engineName(Hybrid->engine());
 }
 
 const FrozenGraph *Epoch::frozen() const {
+  if (View.Frozen)
+    return View.Frozen.get();
   if (Snap)
     return &Snap->frozen();
   return Hybrid->frozen();
@@ -63,14 +89,28 @@ const FrozenGraph *Epoch::frozen() const {
 
 uint64_t Epoch::cost() const {
   const FrozenGraph *F = frozen();
-  uint64_t C = F ? F->numNodes() : M->numExprs();
+  uint64_t C = F ? F->numNodes() : CanonExprs;
   return C ? C : 1;
+}
+
+DenseBitset Epoch::translateRow(const DenseBitset &ShadowRow) const {
+  DenseBitset Out(CanonLabels);
+  ShadowRow.forEach([&](uint32_t ShadowL) {
+    uint32_t C = View.LabelFromShadow[ShadowL];
+    if (C != ~0u)
+      Out.insert(C);
+  });
+  return Out;
 }
 
 Status Epoch::labelsOf(ExprId E, const Deadline &D, DenseBitset &Out) {
   if (D.expired())
     return Status::deadlineExceeded("query deadline expired before start");
   std::lock_guard<std::mutex> Lock(Mu);
+  if (View.Frozen) {
+    Out = translateRow(Q->labelsOf(ExprId(View.ExprToShadow[E.index()])));
+    return Status::ok();
+  }
   if (Q) {
     Out = Q->labelsOf(E);
     return Status::ok();
@@ -83,6 +123,11 @@ Status Epoch::isLabelIn(ExprId E, LabelId L, const Deadline &D, bool &Out) {
   if (D.expired())
     return Status::deadlineExceeded("query deadline expired before start");
   std::lock_guard<std::mutex> Lock(Mu);
+  if (View.Frozen) {
+    Out = Q->isLabelIn(ExprId(View.ExprToShadow[E.index()]),
+                       LabelId(View.LabelToShadow[L.index()]));
+    return Status::ok();
+  }
   if (Q) {
     Out = Q->isLabelIn(E, L);
     return Status::ok();
@@ -96,13 +141,25 @@ Status Epoch::occurrencesOf(LabelId L, const Deadline &D,
   if (D.expired())
     return Status::deadlineExceeded("query deadline expired before start");
   std::lock_guard<std::mutex> Lock(Mu);
+  if (View.Frozen) {
+    Out.clear();
+    for (ExprId Shadow :
+         Q->occurrencesOf(LabelId(View.LabelToShadow[L.index()]))) {
+      uint32_t C = View.ExprFromShadow[Shadow.index()];
+      if (C != ~0u)
+        Out.push_back(ExprId(C));
+    }
+    std::sort(Out.begin(), Out.end(),
+              [](ExprId A, ExprId B) { return A.index() < B.index(); });
+    return Status::ok();
+  }
   if (Q) {
     Out = Q->occurrencesOf(L);
     return Status::ok();
   }
   // Degraded sweep: one table read per occurrence, polled coarsely.
   Out.clear();
-  for (uint32_t I = 0, E = M->numExprs(); I != E; ++I) {
+  for (uint32_t I = 0, E = CanonExprs; I != E; ++I) {
     if ((I & 1023u) == 0 && D.expired())
       return Status::deadlineExceeded("occurrence sweep exceeded deadline");
     if (Hybrid->labelSet(ExprId(I)).contains(L.index()))
@@ -113,24 +170,31 @@ Status Epoch::occurrencesOf(LabelId L, const Deadline &D,
 
 Status Epoch::allLabels(const Deadline &D, std::vector<DenseBitset> &Out,
                         std::vector<char> &Done) {
-  const uint32_t E = M->numExprs();
+  const uint32_t E = CanonExprs;
   std::lock_guard<std::mutex> Lock(Mu);
   if (Q) {
     std::vector<ExprId> Es;
     Es.reserve(E);
+    // A delta epoch batches over shadow ids in canonical order, so the
+    // result and `Done` slots line up with canonical ids as-is.
     for (uint32_t I = 0; I != E; ++I)
-      Es.push_back(ExprId(I));
+      Es.push_back(View.Frozen ? ExprId(View.ExprToShadow[I]) : ExprId(I));
+    Status BS = Status::ok();
     if (D.isInfinite()) {
       Out = Q->labelsOfBatch(Es);
       Done.assign(E, 1);
-      return Status::ok();
+    } else {
+      BatchControl BC;
+      BC.D = D;
+      BatchOutcome Outcome;
+      Out = Q->labelsOfBatch(Es, BC, Outcome);
+      Done = std::move(Outcome.Done);
+      BS = Outcome.S;
     }
-    BatchControl BC;
-    BC.D = D;
-    BatchOutcome Outcome;
-    Out = Q->labelsOfBatch(Es, BC, Outcome);
-    Done = std::move(Outcome.Done);
-    return Outcome.S;
+    if (View.Frozen)
+      for (DenseBitset &Row : Out)
+        Row = translateRow(Row);
+    return BS;
   }
   Out.clear();
   Out.reserve(E);
@@ -148,6 +212,10 @@ Status Epoch::allLabels(const Deadline &D, std::vector<DenseBitset> &Out,
 
 Status Epoch::lint(const std::vector<std::string> &Passes, const Deadline &D,
                    unsigned Threads, LintResult &Out) {
+  if (View.Frozen)
+    return Status::failedPrecondition(
+        "lint is unavailable on a delta epoch (it has no module); run a "
+        "full load first");
   const FrozenGraph *F = frozen();
   if (!F || !F->status().isOk())
     return Status::failedPrecondition(

@@ -27,6 +27,7 @@
 #include "analysis/HybridCFA.h"
 #include "ast/Module.h"
 #include "core/QueryEngine.h"
+#include "delta/DeltaSession.h"
 #include "lint/LintEngine.h"
 #include "snapshot/Snapshot.h"
 #include "support/Deadline.h"
@@ -54,6 +55,13 @@ public:
         std::unique_ptr<LoadedSnapshot> Snap, unsigned Threads,
         size_t KernelThreshold);
 
+  /// Delta epoch: published by an incremental `edit`.  The view's frozen
+  /// snapshot uses the edit session's internal (shadow) numbering;
+  /// queries translate between it and the canonical ids clients speak
+  /// through the view's id maps.  There is no module — lint is
+  /// unavailable until the next full load.
+  Epoch(uint64_t Id, DeltaView V, unsigned Threads, size_t KernelThreshold);
+
   ~Epoch();
 
   Epoch(const Epoch &) = delete;
@@ -75,9 +83,11 @@ public:
   /// with the program, not a graph).
   uint64_t cost() const;
 
-  uint32_t numExprs() const { return M->numExprs(); }
-  uint32_t numLabels() const { return M->numLabels(); }
-  ExprId root() const { return M->root(); }
+  /// Canonical program shape (what clients address); for a delta epoch
+  /// these come from the view, not a module.
+  uint32_t numExprs() const { return CanonExprs; }
+  uint32_t numLabels() const { return CanonLabels; }
+  ExprId root() const { return RootId; }
 
   //===--- queries (thread-safe; serialized on the epoch mutex) ----------//
 
@@ -97,16 +107,27 @@ public:
               unsigned Threads, LintResult &Out);
 
 private:
+  /// Translates a shadow-numbered label row into canonical numbering.
+  DenseBitset translateRow(const DenseBitset &ShadowRow) const;
+
   uint64_t EpochId;
-  std::unique_ptr<Module> M;
+  std::unique_ptr<Module> M; ///< null for a delta epoch
   // Live path (cache miss): the ladder owns graph/frozen/engine.
   std::unique_ptr<HybridCFA> Hybrid;
   // Mapped path (cache hit): the snapshot owns the tables, Q queries it.
   std::unique_ptr<LoadedSnapshot> Snap;
   std::unique_ptr<QueryEngine> MappedEngine;
+  // Delta path (edit): the view owns the detached frozen tables and the
+  // canonical<->shadow id maps.
+  DeltaView View;
 
   /// The engine serving point/batch queries, or null when degraded.
   QueryEngine *Q = nullptr;
+
+  // Canonical shape, valid on every path.
+  uint32_t CanonExprs = 0;
+  uint32_t CanonLabels = 0;
+  ExprId RootId = ExprId::invalid();
 
   std::mutex Mu; ///< serializes engine scratch across worker threads
 };

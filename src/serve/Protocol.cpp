@@ -27,6 +27,8 @@ Status stcfa::serve::validateRequest(JsonValue Doc, ServeRequest &Out) {
   const std::string &Name = V->asString();
   if (Name == "load")
     Out.V = Verb::Load;
+  else if (Name == "edit")
+    Out.V = Verb::Edit;
   else if (Name == "query")
     Out.V = Verb::Query;
   else if (Name == "lint")

@@ -10,6 +10,8 @@
 ///
 /// \code
 ///   {"id": 1, "verb": "load",  "params": {"source": "..."}}
+///   {"id": 2, "verb": "edit",  "params": {"op": "replace", "name": "f",
+///                                         "text": "let f = ...;"}}
 ///   {"id": 2, "verb": "query", "params": {"kind": "labels"}}
 ///   {"id": 3, "verb": "lint",  "params": {"passes": ["dead-function"]}}
 ///   {"id": 4, "verb": "metrics"}
@@ -42,7 +44,7 @@ namespace stcfa {
 namespace serve {
 
 /// The request verbs the daemon understands.
-enum class Verb : uint8_t { Load, Query, Lint, Metrics, Shutdown };
+enum class Verb : uint8_t { Load, Edit, Query, Lint, Metrics, Shutdown };
 
 /// A validated request envelope.  `Params` points into `Doc` (which owns
 /// the whole parsed request), so a `ServeRequest` is self-contained.

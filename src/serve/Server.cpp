@@ -254,6 +254,9 @@ void Server::dispatch(ServeRequest Req) {
   case Verb::Load:
     handleLoad(Req);
     return;
+  case Verb::Edit:
+    handleEdit(Req);
+    return;
   case Verb::Metrics:
     handleMetrics(Req);
     return;
@@ -384,6 +387,8 @@ void Server::handleLoad(const ServeRequest &Req) {
                                          std::move(Snap), Opts.Threads,
                                          KernelThreshold);
         Epochs.install(E);
+        LoadedSource = Source;
+        Session.reset();
         JsonValue Result = JsonValue::object();
         Result.set("epoch", JsonValue::number(int64_t(E->id())));
         Result.set("engine", JsonValue::string(E->engine()));
@@ -446,6 +451,8 @@ void Server::handleLoad(const ServeRequest &Req) {
   auto E = std::make_shared<Epoch>(Epochs.allocateId(), std::move(M),
                                    std::move(Hybrid));
   Epochs.install(E);
+  LoadedSource = Source;
+  Session.reset();
   JsonValue Result = JsonValue::object();
   Result.set("epoch", JsonValue::number(int64_t(E->id())));
   Result.set("engine", JsonValue::string(E->engine()));
@@ -455,6 +462,196 @@ void Server::handleLoad(const ServeRequest &Req) {
   Result.set("nodes",
              JsonValue::number(
                  int64_t(E->frozen() ? E->frozen()->numNodes() : 0)));
+  reply(renderOkReply(Req.Id, Result));
+  Millis.observe(static_cast<uint64_t>(T.millis()));
+}
+
+Status Server::installFullEpoch(const std::string &Source, const Deadline &D,
+                                std::shared_ptr<Epoch> &Out) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = parseProgram(Source, Diags);
+  if (!M) {
+    std::string Rendered = Diags.render();
+    while (!Rendered.empty() && Rendered.back() == '\n')
+      Rendered.pop_back();
+    return Status::invalidArgument("parse failed: " + Rendered);
+  }
+  DiagnosticEngine InferDiags;
+  (void)inferTypes(*M, InferDiags); // untyped programs still analyze
+
+  HybridOptions HO;
+  HO.Threads = Opts.Threads;
+  HO.D = D;
+  HO.Degrade = Opts.Degrade == "off"       ? DegradeMode::Off
+               : Opts.Degrade == "partial" ? DegradeMode::Partial
+                                           : DegradeMode::Standard;
+  HO.KernelThreshold = Opts.KernelThreshold >= 0
+                           ? static_cast<size_t>(Opts.KernelThreshold)
+                           : QueryEngine::DefaultKernelThreshold;
+  auto Hybrid = std::make_unique<HybridCFA>(*M, HO);
+  if (Status S = Hybrid->solve(); !S.isOk())
+    return S;
+  Out = std::make_shared<Epoch>(Epochs.allocateId(), std::move(M),
+                                std::move(Hybrid));
+  Epochs.install(Out);
+  return Status::ok();
+}
+
+void Server::handleEdit(const ServeRequest &Req) {
+  static Counter &Edits = counter("serve.edits");
+  static Histogram &Millis =
+      histogram("serve.request_millis", latencyBucketsMillis());
+  Edits.inc();
+  Timer T;
+
+  // -- parse the edit request ---------------------------------------------
+  const JsonValue *OpV = Req.Params ? Req.Params->field("op") : nullptr;
+  if (!OpV || !OpV->isString()) {
+    replyError(Req.Id, Status::invalidArgument(
+                           "'edit' needs params.op "
+                           "(insert|delete|replace|replace-body|rename)"));
+    return;
+  }
+  EditRequest R;
+  const std::string &Op = OpV->asString();
+  if (Op == "insert")
+    R.Kind = EditRequest::Op::Insert;
+  else if (Op == "delete")
+    R.Kind = EditRequest::Op::Delete;
+  else if (Op == "replace")
+    R.Kind = EditRequest::Op::Replace;
+  else if (Op == "replace-body")
+    R.Kind = EditRequest::Op::ReplaceBody;
+  else if (Op == "rename")
+    R.Kind = EditRequest::Op::Rename;
+  else {
+    replyError(Req.Id, Status::invalidArgument(
+                           "unknown edit op '" + Op +
+                           "' (insert|delete|replace|replace-body|rename)"));
+    return;
+  }
+  auto readString = [&](const char *Name, std::string &Out,
+                        bool Required) -> Status {
+    const JsonValue *V = Req.Params->field(Name);
+    if (!V) {
+      if (Required)
+        return Status::invalidArgument(std::string("edit op '") + Op +
+                                       "' needs params." + Name);
+      return Status::ok();
+    }
+    if (!V->isString())
+      return Status::invalidArgument(std::string("'") + Name +
+                                     "' must be a string");
+    Out = V->asString();
+    return Status::ok();
+  };
+  const bool NeedsText = R.Kind == EditRequest::Op::Insert ||
+                         R.Kind == EditRequest::Op::Replace ||
+                         R.Kind == EditRequest::Op::ReplaceBody;
+  if (Status S = readString("text", R.Text, NeedsText); !S.isOk()) {
+    replyError(Req.Id, S);
+    return;
+  }
+  if (Status S = readString("name", R.Name, false); !S.isOk()) {
+    replyError(Req.Id, S);
+    return;
+  }
+  if (Status S = readString("before", R.Before, false); !S.isOk()) {
+    replyError(Req.Id, S);
+    return;
+  }
+  if (Status S = readString("new_name", R.NewName,
+                            R.Kind == EditRequest::Op::Rename);
+      !S.isOk()) {
+    replyError(Req.Id, S);
+    return;
+  }
+  if (const JsonValue *L = Req.Params->field("line")) {
+    if (!L->isInt() || L->asInt() <= 0) {
+      replyError(Req.Id,
+                 Status::invalidArgument("'line' must be a positive line "
+                                         "number"));
+      return;
+    }
+    R.Line = static_cast<uint32_t>(L->asInt());
+  }
+
+  // -- resolve the session -------------------------------------------------
+  std::shared_ptr<Epoch> Bound = Epochs.current();
+  if (!Bound || LoadedSource.empty()) {
+    replyError(Req.Id, Status::failedPrecondition(
+                           "no program loaded; send a 'load' request "
+                           "before editing"));
+    return;
+  }
+  const uint64_t BoundEpoch = Bound->id();
+  if (!Session) {
+    DeltaSession::Options DO;
+    DO.Threads = Opts.Threads;
+    Status CS = Status::ok();
+    Session = DeltaSession::create(LoadedSource, DO, CS);
+    if (!Session) {
+      replyError(Req.Id, CS);
+      return;
+    }
+  }
+
+  // -- apply ---------------------------------------------------------------
+  ApplyResult Res;
+  if (Status S = Session->apply(R, Res); !S.isOk()) {
+    // A rejected edit never changed the session; the current epoch keeps
+    // serving untouched.
+    replyError(Req.Id, S);
+    return;
+  }
+
+  const char *Mode = "delta";
+  std::shared_ptr<Epoch> E;
+  Deadline D = requestDeadline(Req);
+  bool InstallRaced = false;
+  if (!Res.NeedsFullPipeline) {
+    // Generation check: if another install slipped in between accept and
+    // here (or the injected race fires), the delta was computed against
+    // a superseded program — discard it and reload the session's source
+    // in full rather than publish a mismatched epoch.
+    InstallRaced = faultFires(fault::DeltaInstallRace) ||
+                   (Epochs.current() && Epochs.current()->id() != BoundEpoch);
+  }
+  if (Res.NeedsFullPipeline || InstallRaced) {
+    if (InstallRaced)
+      counter("delta.fallback_full").inc();
+    Mode = InstallRaced ? "install-race" : "full-pipeline";
+    if (Status S = installFullEpoch(Session->currentSource(), D, E);
+        !S.isOk()) {
+      replyError(Req.Id, S);
+      return;
+    }
+  } else {
+    DeltaView View;
+    if (Status S = Session->freezeView(View); !S.isOk()) {
+      replyError(Req.Id, S);
+      return;
+    }
+    const size_t KernelThreshold =
+        Opts.KernelThreshold >= 0
+            ? static_cast<size_t>(Opts.KernelThreshold)
+            : QueryEngine::DefaultKernelThreshold;
+    E = std::make_shared<Epoch>(Epochs.allocateId(), std::move(View),
+                                Opts.Threads, KernelThreshold);
+    Epochs.install(E);
+    Mode = Res.M == ApplyResult::Mode::Metadata      ? "metadata"
+           : Res.M == ApplyResult::Mode::FullRebuild ? "full-rebuild"
+                                                     : "delta";
+  }
+
+  JsonValue Result = JsonValue::object();
+  Result.set("epoch", JsonValue::number(int64_t(E->id())));
+  Result.set("engine", JsonValue::string(E->engine()));
+  Result.set("mode", JsonValue::string(Mode));
+  Result.set("dirty_nodes", JsonValue::number(int64_t(Res.DirtyNodes)));
+  Result.set("reclose_edges", JsonValue::number(int64_t(Res.RecloseEdges)));
+  Result.set("exprs", JsonValue::number(int64_t(E->numExprs())));
+  Result.set("labels", JsonValue::number(int64_t(E->numLabels())));
   reply(renderOkReply(Req.Id, Result));
   Millis.observe(static_cast<uint64_t>(T.millis()));
 }

@@ -35,6 +35,7 @@
 #ifndef STCFA_SERVE_SERVER_H
 #define STCFA_SERVE_SERVER_H
 
+#include "delta/DeltaSession.h"
 #include "serve/Epoch.h"
 #include "serve/Protocol.h"
 
@@ -124,6 +125,11 @@ private:
 
   //===--- verbs ----------------------------------------------------------//
   void handleLoad(const ServeRequest &Req);
+  /// Runs inline on the reader thread, like `load`: an edit installs the
+  /// next epoch, so it must serialize against other installs anyway.
+  /// Queries already dispatched keep answering from the epoch they bound
+  /// at accept time.
+  void handleEdit(const ServeRequest &Req);
   void handleMetrics(const ServeRequest &Req);
   /// Runs on a worker.  \p E is the epoch resolved at accept time;
   /// \p Degraded carries the admission decision.
@@ -132,6 +138,12 @@ private:
   void handleLint(const ServeRequest &Req, const std::shared_ptr<Epoch> &E);
 
   //===--- plumbing -------------------------------------------------------//
+  /// Full parse -> infer -> hybrid-solve -> install over \p Source: the
+  /// edit path's fallback when the delta session cannot serve
+  /// incrementally.  Deliberately bypasses the snapshot cache — these
+  /// reloads are transient mid-edit states.
+  Status installFullEpoch(const std::string &Source, const Deadline &D,
+                          std::shared_ptr<Epoch> &Out);
   Deadline requestDeadline(const ServeRequest &Req) const;
   void reply(const std::string &Line);
   void replyError(const JsonValue &Id, const Status &S);
@@ -154,6 +166,12 @@ private:
   unsigned Busy = 0;
   bool Stopping = false;
   std::vector<std::thread> Workers;
+
+  // Edit-delta state (reader thread only): the session is created lazily
+  // from the last successfully loaded source on the first `edit`, and a
+  // new `load` discards it (the client chose a fresh program).
+  std::unique_ptr<DeltaSession> Session;
+  std::string LoadedSource;
 
   // Reader-side line buffer; carries bytes across read() chunks.
   std::string Pending;

@@ -67,6 +67,15 @@ constexpr FaultSite Sites[] = {
     {fault::ServeReplyWrite, FaultKind::Alloc,
      "the daemon's reply writer reports a serialization failure (the reply "
      "degrades to a minimal static error line)"},
+    {fault::DeltaDiffAlloc, FaultKind::Alloc,
+     "the edit-delta diff stage reports an allocation failure; the edit "
+     "falls back to a full rebuild"},
+    {fault::DeltaRecloseAbort, FaultKind::Timeout,
+     "the edit-delta governed re-close reports its deadline expired; the "
+     "edit falls back to a full rebuild"},
+    {fault::DeltaInstallRace, FaultKind::Corrupt,
+     "the daemon's edit-install generation check observes a concurrent "
+     "epoch install; the edit falls back to a full reload"},
 };
 
 #if STCFA_FAULT_INJECTION

@@ -95,6 +95,9 @@ inline constexpr std::string_view SnapshotCsrBitFlip = "snapshot.csr-bit-flip";
 inline constexpr std::string_view ServeAcceptAlloc = "serve.accept-alloc";
 inline constexpr std::string_view ServeRequestParse = "serve.request-parse";
 inline constexpr std::string_view ServeReplyWrite = "serve.reply-write";
+inline constexpr std::string_view DeltaDiffAlloc = "delta.diff-alloc";
+inline constexpr std::string_view DeltaRecloseAbort = "delta.reclose-abort";
+inline constexpr std::string_view DeltaInstallRace = "delta.install-race";
 } // namespace fault
 
 /// All registered fault points (stable order).  Available even in

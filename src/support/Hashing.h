@@ -76,32 +76,44 @@ inline uint64_t hashBytes(const void *Data, size_t Size,
 
 /// Open-addressing hash set of *non-zero* 64-bit keys.
 ///
-/// Key 0 is reserved as the empty-slot marker; callers must bias their keys
-/// so that 0 never occurs (edge keys add 1 to each endpoint).
+/// Key 0 is reserved as the empty-slot marker and ~0 as the deletion
+/// tombstone; callers must bias their keys so that neither occurs (edge
+/// keys add 1 to each endpoint and stay far below 2^63).  Erasure exists
+/// for the delta layer's edge retraction; probe chains skip tombstones,
+/// rebuilds drop them, and the load-factor check counts them so a
+/// churn-heavy table still resizes.
 class U64Set {
 public:
   U64Set() : Slots(InitialCapacity, 0) {}
 
   /// Inserts \p Key; returns true iff it was not already present.
   bool insert(uint64_t Key) {
-    assert(Key != 0 && "key 0 is reserved");
-    if ((Count + 1) * 4 >= Slots.size() * 3)
+    assert(Key != 0 && Key != Tombstone && "key 0 / ~0 are reserved");
+    if ((Used + 1) * 4 >= Slots.size() * 3)
       grow();
     size_t Mask = Slots.size() - 1;
     size_t I = static_cast<size_t>(hashU64(Key)) & Mask;
+    size_t Reuse = SIZE_MAX;
     while (Slots[I] != 0) {
       if (Slots[I] == Key)
         return false;
+      if (Slots[I] == Tombstone && Reuse == SIZE_MAX)
+        Reuse = I;
       I = (I + 1) & Mask;
     }
-    Slots[I] = Key;
+    if (Reuse != SIZE_MAX) {
+      Slots[Reuse] = Key; // reclaim the tombstone; Used already counts it
+    } else {
+      Slots[I] = Key;
+      ++Used;
+    }
     ++Count;
     return true;
   }
 
   /// True iff \p Key is present.
   bool contains(uint64_t Key) const {
-    assert(Key != 0 && "key 0 is reserved");
+    assert(Key != 0 && Key != Tombstone && "key 0 / ~0 are reserved");
     size_t Mask = Slots.size() - 1;
     size_t I = static_cast<size_t>(hashU64(Key)) & Mask;
     while (Slots[I] != 0) {
@@ -112,28 +124,48 @@ public:
     return false;
   }
 
+  /// Removes \p Key; returns true iff it was present.  The slot becomes a
+  /// tombstone so longer probe chains stay intact.
+  bool erase(uint64_t Key) {
+    assert(Key != 0 && Key != Tombstone && "key 0 / ~0 are reserved");
+    size_t Mask = Slots.size() - 1;
+    size_t I = static_cast<size_t>(hashU64(Key)) & Mask;
+    while (Slots[I] != 0) {
+      if (Slots[I] == Key) {
+        Slots[I] = Tombstone;
+        --Count;
+        return true;
+      }
+      I = (I + 1) & Mask;
+    }
+    return false;
+  }
+
   /// Number of stored keys.
   size_t size() const { return Count; }
 
 private:
   static constexpr size_t InitialCapacity = 64;
+  static constexpr uint64_t Tombstone = ~0ULL;
 
   void grow() {
     std::vector<uint64_t> Old = std::move(Slots);
     Slots.assign(Old.size() * 2, 0);
     size_t Mask = Slots.size() - 1;
     for (uint64_t Key : Old) {
-      if (Key == 0)
+      if (Key == 0 || Key == Tombstone)
         continue;
       size_t I = static_cast<size_t>(hashU64(Key)) & Mask;
       while (Slots[I] != 0)
         I = (I + 1) & Mask;
       Slots[I] = Key;
     }
+    Used = Count;
   }
 
   std::vector<uint64_t> Slots;
-  size_t Count = 0;
+  size_t Count = 0; // live keys
+  size_t Used = 0;  // live keys + tombstones (load-factor accounting)
 };
 
 /// Open-addressing hash map from *non-zero* 64-bit keys to 32-bit values.

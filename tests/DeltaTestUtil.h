@@ -1,0 +1,126 @@
+//===-- tests/DeltaTestUtil.h - Shared edit-delta test oracle ---*- C++ -*-===//
+//
+// Part of the stcfa project (PLDI'97 subtransitive CFA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential oracle shared by the delta unit tests and the
+/// edit-sequence fuzzer: publish the session's view, rebuild the
+/// session's current source from scratch through the ordinary pipeline,
+/// and require bit-identical answers for every canonical expression and
+/// label.  Any divergence returns a report carrying the caller's tag
+/// (program seed / edit seed / step), so a fuzz failure is reproducible
+/// from the test log alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STCFA_TESTS_DELTATESTUTIL_H
+#define STCFA_TESTS_DELTATESTUTIL_H
+
+#include "core/FrozenGraph.h"
+#include "core/QueryEngine.h"
+#include "core/SubtransitiveGraph.h"
+#include "delta/DeltaSession.h"
+#include "parser/Parser.h"
+#include "sema/Infer.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stcfa {
+
+/// Publishes \p Sess's view and cross-checks every point answer —
+/// `labelsOf` for all canonical expressions, `occurrencesOf` for all
+/// canonical labels — against a from-scratch pipeline over the session's
+/// current source.  With \p UseBatch the delta side's rows come from
+/// `labelsOfBatch` with the kernel threshold forced to zero, so the
+/// word-parallel kernel (or its forced-scalar twin under
+/// `STCFA_FORCE_SCALAR=1`) is the code under test instead of the
+/// per-query DFS.  Returns "" on agreement, a reproducing report
+/// otherwise.
+inline std::string compareDeltaToFreshRebuild(DeltaSession &Sess,
+                                              const std::string &Tag,
+                                              bool UseBatch = false) {
+  DeltaView V;
+  if (Status S = Sess.freezeView(V); !S.isOk())
+    return Tag + ": freezeView failed: " + S.toString();
+
+  const std::string Src = Sess.currentSource();
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = parseProgram(Src, Diags);
+  if (!M)
+    return Tag + ": current source does not parse:\n" + Diags.render() +
+           "\n--- source ---\n" + Src;
+  DiagnosticEngine InferDiags;
+  (void)inferTypes(*M, InferDiags);
+
+  SubtransitiveConfig Config;
+  SubtransitiveGraph G(*M, Config);
+  G.build();
+  if (Status S = G.close(Deadline::infinite()); !S.isOk())
+    return Tag + ": oracle close failed: " + S.toString();
+  Status FS = Status::ok();
+  std::unique_ptr<FrozenGraph> F = FrozenGraph::freeze(G, FS);
+  if (!F)
+    return Tag + ": oracle freeze failed: " + FS.toString();
+  QueryEngine Fresh(*F, 1);
+
+  if (V.NumExprs != M->numExprs())
+    return Tag + ": canonical expr count " + std::to_string(V.NumExprs) +
+           " != fresh parse " + std::to_string(M->numExprs()) +
+           "\n--- source ---\n" + Src;
+  if (V.NumLabels != M->numLabels())
+    return Tag + ": canonical label count " + std::to_string(V.NumLabels) +
+           " != fresh parse " + std::to_string(M->numLabels()) +
+           "\n--- source ---\n" + Src;
+
+  QueryEngine Delta(*V.Frozen, 1);
+  std::vector<DenseBitset> BatchRows;
+  if (UseBatch) {
+    Delta.setKernelThreshold(0); // force the kernel path
+    std::vector<ExprId> Es;
+    Es.reserve(V.NumExprs);
+    for (uint32_t E = 0; E != V.NumExprs; ++E)
+      Es.push_back(ExprId(V.ExprToShadow[E]));
+    BatchRows = Delta.labelsOfBatch(Es);
+  }
+  for (uint32_t E = 0; E != V.NumExprs; ++E) {
+    DenseBitset DRow = UseBatch
+                           ? std::move(BatchRows[E])
+                           : Delta.labelsOf(ExprId(V.ExprToShadow[E]));
+    DenseBitset FRow = Fresh.labelsOf(ExprId(E));
+    for (uint32_t L = 0; L != V.NumLabels; ++L)
+      if (DRow.contains(V.LabelToShadow[L]) != FRow.contains(L))
+        return Tag + ": labelsOf(expr " + std::to_string(E) +
+               ") disagrees at label " + std::to_string(L) + " (delta=" +
+               (DRow.contains(V.LabelToShadow[L]) ? "1" : "0") +
+               ", batch=" + (UseBatch ? "1" : "0") + ")\n--- source ---\n" +
+               Src;
+  }
+  for (uint32_t L = 0; L != V.NumLabels; ++L) {
+    std::vector<uint32_t> DOcc;
+    for (ExprId Shadow : Delta.occurrencesOf(LabelId(V.LabelToShadow[L]))) {
+      uint32_t C = V.ExprFromShadow[Shadow.index()];
+      if (C != ~0u)
+        DOcc.push_back(C);
+    }
+    std::sort(DOcc.begin(), DOcc.end());
+    std::vector<uint32_t> FOcc;
+    for (ExprId Id : Fresh.occurrencesOf(LabelId(L)))
+      FOcc.push_back(Id.index());
+    std::sort(FOcc.begin(), FOcc.end());
+    if (DOcc != FOcc)
+      return Tag + ": occurrencesOf(label " + std::to_string(L) +
+             ") disagrees (delta has " + std::to_string(DOcc.size()) +
+             ", fresh has " + std::to_string(FOcc.size()) +
+             ")\n--- source ---\n" + Src;
+  }
+  return "";
+}
+
+} // namespace stcfa
+
+#endif // STCFA_TESTS_DELTATESTUTIL_H

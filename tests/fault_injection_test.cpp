@@ -19,9 +19,13 @@
 #include "core/QueryEngine.h"
 #include "core/Reachability.h"
 #include "core/SubtransitiveGraph.h"
+#include "delta/DeltaSession.h"
 #include "gen/Generators.h"
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
+#include "testgen/ShapeGen.h"
 
+#include "DeltaTestUtil.h"
 #include "TestUtil.h"
 
 #include <algorithm>
@@ -536,6 +540,109 @@ TEST(FaultInjection, EverySiteDegradesGracefully) {
             << "expr " << I << " lost labels under " << Site.Name;
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Delta sites: every injected fault degrades into a full rebuild that
+// still serves bit-exact answers — a governed abort is never a wrong
+// answer (src/delta/DeltaSession.h).
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, DeltaSitesAreRegistered) {
+  auto Sites = registeredFaultSites();
+  for (std::string_view Name :
+       {fault::DeltaDiffAlloc, fault::DeltaRecloseAbort,
+        fault::DeltaInstallRace}) {
+    EXPECT_TRUE(std::any_of(Sites.begin(), Sites.end(),
+                            [&](const auto &S) { return S.Name == Name; }))
+        << "missing delta site " << Name;
+  }
+}
+
+TEST(FaultInjection, DeltaDiffAllocFallsBackToFullRebuildOnEveryOp) {
+  ShapeSpec Spec;
+  EXPECT_TRUE(parseShapeSpec("diamond:4", Spec));
+  DeltaSession::Options O;
+  Status CS = Status::ok();
+  auto Sess = DeltaSession::create(makeShapeProgram(Spec), O, CS);
+  ASSERT_TRUE(Sess != nullptr) << CS.toString();
+  // A spare, unreferenced definition so the delete op below is legal.
+  {
+    EditRequest Spare;
+    Spare.Kind = EditRequest::Op::Insert;
+    Spare.Text = "let spare = fn x => m0 (x);";
+    ApplyResult Res;
+    ASSERT_TRUE(Sess->apply(Spare, Res).isOk());
+  }
+
+  EditRequest Replace;
+  Replace.Kind = EditRequest::Op::Replace;
+  Replace.Name = "l2";
+  Replace.Text = "let l2 = fn x => m1 (m0 (x));";
+  EditRequest Insert;
+  Insert.Kind = EditRequest::Op::Insert;
+  Insert.Text = "let faulted = fn x => m2 (x);";
+  EditRequest Delete;
+  Delete.Kind = EditRequest::Op::Delete;
+  Delete.Name = "spare";
+  EditRequest Rebody;
+  Rebody.Kind = EditRequest::Op::ReplaceBody;
+  Rebody.Text = "m4 (m3 0)";
+
+  Counter &Fallbacks = counter("delta.fallback_full");
+  for (const auto &[Label, Req] :
+       {std::pair<const char *, EditRequest &>{"replace", Replace},
+        {"insert", Insert},
+        {"delete", Delete},
+        {"replace-body", Rebody}}) {
+    const uint64_t Before = Fallbacks.value();
+    ApplyResult Res;
+    Status S = Status::ok();
+    {
+      ArmedSite Armed(fault::DeltaDiffAlloc);
+      S = Sess->apply(Req, Res);
+    }
+    ASSERT_TRUE(S.isOk()) << Label << ": " << S.toString();
+    EXPECT_EQ(Res.M, ApplyResult::Mode::FullRebuild) << Label;
+    EXPECT_FALSE(Res.NeedsFullPipeline) << Label;
+    EXPECT_EQ(Fallbacks.value(), Before + 1)
+        << Label << ": delta.fallback_full did not tick";
+    EXPECT_EQ("", compareDeltaToFreshRebuild(
+                      *Sess, std::string("diff-alloc ") + Label));
+  }
+}
+
+TEST(FaultInjection, DeltaRecloseAbortFallsBackToFullRebuild) {
+  ShapeSpec Spec;
+  EXPECT_TRUE(parseShapeSpec("deep:6", Spec));
+  DeltaSession::Options O;
+  Status CS = Status::ok();
+  auto Sess = DeltaSession::create(makeShapeProgram(Spec), O, CS);
+  ASSERT_TRUE(Sess != nullptr) << CS.toString();
+
+  Counter &Fallbacks = counter("delta.fallback_full");
+  const uint64_t Before = Fallbacks.value();
+  EditRequest Req;
+  Req.Kind = EditRequest::Op::Replace;
+  Req.Name = "f3";
+  Req.Text = "let f3 = fn x => f0 (f1 (x));";
+  ApplyResult Res;
+  Status S = Status::ok();
+  {
+    ArmedSite Armed(fault::DeltaRecloseAbort);
+    S = Sess->apply(Req, Res);
+  }
+  ASSERT_TRUE(S.isOk()) << S.toString();
+  EXPECT_EQ(Res.M, ApplyResult::Mode::FullRebuild);
+  EXPECT_FALSE(Res.NeedsFullPipeline);
+  EXPECT_EQ(Fallbacks.value(), Before + 1);
+  EXPECT_EQ("", compareDeltaToFreshRebuild(*Sess, "reclose-abort"));
+
+  // Disarmed, the same session serves the next edit incrementally again.
+  Req.Text = "let f3 = fn x => f2 (x);";
+  ASSERT_TRUE(Sess->apply(Req, Res).isOk());
+  EXPECT_EQ(Res.M, ApplyResult::Mode::Delta);
+  EXPECT_EQ("", compareDeltaToFreshRebuild(*Sess, "reclose-recovered"));
 }
 
 } // namespace

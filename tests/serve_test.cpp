@@ -700,4 +700,230 @@ TEST(Serve, ConcurrentLoadsAndQueriesStayRaceFree) {
   H.shutdown();
 }
 
+//===----------------------------------------------------------------------===//
+// Incremental edits (the `edit` verb)
+//===----------------------------------------------------------------------===//
+
+/// Edits need top-level `let ...;` items (docs/SERVE.md); `let ... in`
+/// is one opaque body expression with no named definitions to target.
+const char *kItems = "let f0 = fn x => x;\n"
+                     "let f1 = fn x => f0 (x);\n"
+                     "let f2 = fn x => f1 (x);\n"
+                     "f2 (fn y => y)";
+
+/// kItems after `replace f1` with a doubled wrapper — the expected
+/// semantics of the spliced source (canonical expr/label numbering
+/// depends only on item order and content, not on splice whitespace).
+const char *kItemsEdited = "let f0 = fn x => x;\n"
+                           "let f1 = fn x => f0 (f0 (x));\n"
+                           "let f2 = fn x => f1 (x);\n"
+                           "f2 (fn y => y)";
+
+std::string editRequest(int Id, const std::string &ParamsJson) {
+  return R"({"id":)" + std::to_string(Id) + R"(,"verb":"edit","params":)" +
+         ParamsJson + "}";
+}
+
+const char *kReplaceF1Params =
+    R"({"op":"replace","name":"f1","text":"let f1 = fn x => f0 (f0 (x));"})";
+
+TEST(ServeEdit, EditBeforeLoadFailsCleanly) {
+  ServeHarness H{ServeOptions{}};
+  H.send(editRequest(1, kReplaceF1Params));
+  JsonValue R = H.recv();
+  EXPECT_FALSE(ServeHarness::okOf(R));
+  EXPECT_EQ(ServeHarness::errorCodeOf(R), "failed-precondition");
+  // The session is untouched: a load still works afterwards.
+  H.send(loadRequest(2, kItems));
+  EXPECT_TRUE(ServeHarness::okOf(H.recv()));
+  H.shutdown();
+}
+
+TEST(ServeEdit, MalformedEditsYieldStructuredErrors) {
+  ServeHarness H{ServeOptions{}};
+  H.send(loadRequest(1, kItems));
+  ASSERT_TRUE(ServeHarness::okOf(H.recv()));
+
+  auto ExpectInvalid = [&](const std::string &Line) {
+    H.send(Line);
+    JsonValue R = H.recv();
+    EXPECT_FALSE(ServeHarness::okOf(R)) << renderJson(R);
+    EXPECT_EQ(ServeHarness::errorCodeOf(R), "invalid-argument")
+        << renderJson(R);
+  };
+
+  // Missing params.op entirely.
+  ExpectInvalid(R"({"id":2,"verb":"edit"})");
+  // Unknown op.
+  ExpectInvalid(editRequest(3, R"({"op":"frobnicate"})"));
+  // Insert without the required text.
+  ExpectInvalid(editRequest(4, R"({"op":"insert"})"));
+  // Rename without the required new_name.
+  ExpectInvalid(editRequest(5, R"({"op":"rename","name":"f1"})"));
+  // Non-string text.
+  ExpectInvalid(editRequest(6, R"({"op":"replace","name":"f1","text":7})"));
+  // Non-positive line.
+  ExpectInvalid(editRequest(
+      7, R"({"op":"replace","name":"f1","line":0,)"
+         R"("text":"let f1 = fn x => f0 (x);"})"));
+  // Structurally valid, semantically rejected: unknown definition...
+  ExpectInvalid(editRequest(
+      8, R"({"op":"replace","name":"nope","text":"let nope = fn x => x;"})"));
+  // ...and deleting a still-referenced definition.
+  ExpectInvalid(editRequest(9, R"({"op":"delete","name":"f0"})"));
+
+  // None of the rejections changed the session: the next valid edit
+  // installs epoch 2 (the load was epoch 1), and a query answers from it.
+  H.send(editRequest(10, kReplaceF1Params));
+  JsonValue E = H.recv();
+  ASSERT_TRUE(ServeHarness::okOf(E)) << renderJson(E);
+  EXPECT_EQ(ServeHarness::resultOf(E)->field("epoch")->asInt(), 2);
+  H.send(R"({"id":11,"verb":"query","params":{"kind":"labels"}})");
+  EXPECT_TRUE(ServeHarness::okOf(H.recv()));
+  H.shutdown();
+}
+
+TEST(ServeEdit, DeltaEditInstallsNewEpochBitExact) {
+  ServeHarness H{ServeOptions{}};
+  H.send(loadRequest(1, kItems));
+  ASSERT_TRUE(ServeHarness::okOf(H.recv()));
+
+  H.send(editRequest(2, kReplaceF1Params));
+  JsonValue E = H.recv();
+  ASSERT_TRUE(ServeHarness::okOf(E)) << renderJson(E);
+  const JsonValue *R = ServeHarness::resultOf(E);
+  EXPECT_EQ(R->field("epoch")->asInt(), 2);
+  EXPECT_STREQ(R->field("engine")->asString().c_str(), "delta");
+  EXPECT_STREQ(R->field("mode")->asString().c_str(), "delta");
+  // A real replace dirties the replaced definition's cone and re-closes
+  // at least one consequence edge; the instrumentation must say so.
+  EXPECT_GE(R->field("dirty_nodes")->asInt(), 1);
+  EXPECT_GE(R->field("reclose_edges")->asInt(), 0);
+
+  Reference Ref(kItemsEdited);
+  EXPECT_EQ(R->field("exprs")->asInt(), int64_t(Ref.M->numExprs()));
+  EXPECT_EQ(R->field("labels")->asInt(), int64_t(Ref.M->numLabels()));
+
+  // Every label set served from the delta epoch is bit-exact against a
+  // batch pipeline over the edited source.
+  H.send(R"({"id":3,"verb":"query","params":{"kind":"all-labels"}})");
+  JsonValue All = H.recv();
+  ASSERT_TRUE(ServeHarness::okOf(All)) << renderJson(All);
+  for (const JsonValue &Row :
+       ServeHarness::resultOf(All)->field("sets")->items()) {
+    auto Ex = static_cast<uint32_t>(Row.field("expr")->asInt());
+    std::vector<uint32_t> Ids;
+    for (const JsonValue &L : Row.field("labels")->items())
+      Ids.push_back(static_cast<uint32_t>(L.asInt()));
+    EXPECT_EQ(Ids, Ref.labelsOf(ExprId(Ex))) << "expr " << Ex;
+  }
+
+  // Lint is documented as unavailable on a delta epoch (it has no
+  // module): a structured error, not a crash or a stale answer.
+  H.send(R"({"id":4,"verb":"lint"})");
+  JsonValue Lint = H.recv();
+  EXPECT_FALSE(ServeHarness::okOf(Lint)) << renderJson(Lint);
+  EXPECT_EQ(ServeHarness::errorCodeOf(Lint), "failed-precondition");
+  H.shutdown();
+}
+
+TEST(ServeEdit, EditDuringQueryBurstKeepsBoundEpochAnswers) {
+  ServeOptions O;
+  O.Threads = 2;
+  ServeHarness H{O};
+
+  // Load, a query against epoch 1, the edit, a query against epoch 2 —
+  // one burst, so the first query's worker job overlaps the edit's
+  // inline handling on the reader thread.
+  std::string Burst = loadRequest(1, kItems);
+  Burst += "\n";
+  Burst += R"({"id":2,"verb":"query","params":{"kind":"labels"}})";
+  Burst += "\n";
+  Burst += editRequest(3, kReplaceF1Params);
+  Burst += "\n";
+  Burst += R"({"id":4,"verb":"query","params":{"kind":"labels"}})";
+  Burst += "\n";
+  H.sendRaw(Burst);
+
+  std::vector<JsonValue> Replies;
+  for (int I = 0; I != 4; ++I)
+    Replies.push_back(H.recv());
+  auto ById = [&](int64_t Id) -> const JsonValue * {
+    for (const JsonValue &R : Replies)
+      if (const JsonValue *I = R.field("id"); I && I->isInt() &&
+                                              I->asInt() == Id)
+        return &R;
+    return nullptr;
+  };
+  const JsonValue *Q1 = ById(2), *Ed = ById(3), *Q2 = ById(4);
+  ASSERT_NE(Q1, nullptr);
+  ASSERT_NE(Ed, nullptr);
+  ASSERT_NE(Q2, nullptr);
+
+  // The first query was admitted against epoch 1 and answers for the
+  // pre-edit program no matter when the delta epoch's install lands.
+  ASSERT_TRUE(ServeHarness::okOf(*Q1)) << renderJson(*Q1);
+  EXPECT_EQ(ServeHarness::resultOf(*Q1)->field("epoch")->asInt(), 1);
+  EXPECT_EQ(labelIdsOf(*Q1),
+            Reference(kItems).labelsOf(Reference(kItems).M->root()));
+
+  ASSERT_TRUE(ServeHarness::okOf(*Ed)) << renderJson(*Ed);
+  EXPECT_EQ(ServeHarness::resultOf(*Ed)->field("epoch")->asInt(), 2);
+
+  // The second query (sent after the edit) answers for epoch 2 with the
+  // edited program's label sets.
+  ASSERT_TRUE(ServeHarness::okOf(*Q2)) << renderJson(*Q2);
+  EXPECT_EQ(ServeHarness::resultOf(*Q2)->field("epoch")->asInt(), 2);
+  EXPECT_EQ(labelIdsOf(*Q2),
+            Reference(kItemsEdited).labelsOf(Reference(kItemsEdited).M->root()));
+  H.shutdown();
+}
+
+#if STCFA_FAULT_INJECTION
+TEST(ServeEdit, InstallRaceFallsBackToFullEpochThenRecovers) {
+  ServeHarness H{ServeOptions{}};
+  H.send(loadRequest(1, kItems));
+  ASSERT_TRUE(ServeHarness::okOf(H.recv()));
+
+  // The injected race makes the delta's bound epoch look superseded at
+  // install time: the computed delta must be discarded for a full
+  // pipeline over the session's (edited) source — never published.
+  const uint64_t FallbacksBefore = counter("delta.fallback_full").value();
+  ASSERT_TRUE(armFault(fault::DeltaInstallRace));
+  H.send(editRequest(2, kReplaceF1Params));
+  JsonValue E = H.recv();
+  disarmFaults();
+  ASSERT_TRUE(ServeHarness::okOf(E)) << renderJson(E);
+  const JsonValue *R = ServeHarness::resultOf(E);
+  EXPECT_STREQ(R->field("mode")->asString().c_str(), "install-race");
+  EXPECT_STREQ(R->field("engine")->asString().c_str(), "subtransitive");
+  EXPECT_EQ(R->field("epoch")->asInt(), 2);
+  EXPECT_EQ(counter("delta.fallback_full").value(), FallbacksBefore + 1);
+
+  // The fallback epoch serves the edited program exactly.
+  H.send(R"({"id":3,"verb":"query","params":{"kind":"labels"}})");
+  JsonValue Q = H.recv();
+  ASSERT_TRUE(ServeHarness::okOf(Q));
+  EXPECT_EQ(labelIdsOf(Q),
+            Reference(kItemsEdited).labelsOf(Reference(kItemsEdited).M->root()));
+
+  // Disarmed, the next edit rides the delta path again.
+  H.send(editRequest(
+      4, R"({"op":"replace","name":"f1","text":"let f1 = fn x => f0 (x);"})"));
+  JsonValue E2 = H.recv();
+  ASSERT_TRUE(ServeHarness::okOf(E2)) << renderJson(E2);
+  EXPECT_STREQ(
+      ServeHarness::resultOf(E2)->field("mode")->asString().c_str(), "delta");
+  EXPECT_STREQ(ServeHarness::resultOf(E2)->field("engine")->asString().c_str(),
+               "delta");
+  EXPECT_EQ(ServeHarness::resultOf(E2)->field("epoch")->asInt(), 3);
+  H.send(R"({"id":5,"verb":"query","params":{"kind":"labels"}})");
+  JsonValue Q2 = H.recv();
+  ASSERT_TRUE(ServeHarness::okOf(Q2));
+  EXPECT_EQ(labelIdsOf(Q2),
+            Reference(kItems).labelsOf(Reference(kItems).M->root()));
+  H.shutdown();
+}
+#endif
+
 } // namespace
